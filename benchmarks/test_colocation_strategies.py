@@ -1,0 +1,46 @@
+"""Sec. 3.2/3.3 asides: mass co-location and solo exposure both lose to games.
+
+Two quantified claims from the design discussion:
+
+* co-locating ~1000 configurations at once yields a winner "more than 2.8x
+  more execution time" than optimal (co-location noise swamps the signal);
+* comparing configurations via individual (solo) exposure to background
+  noise is "often more than 10%" worse than DarwinGame's shared-noise games.
+"""
+
+from repro.experiments import paper_vs_measured, render_table
+from repro.experiments.colocation_study import run_colocation_study
+
+
+def test_colocation_strategies(once):
+    result = once(lambda: run_colocation_study("redis", scale="bench", repeats=3, seed=0))
+    print()
+    rows = [
+        (o.strategy, o.mean_pick_time, o.time_vs_optimal)
+        for o in result.outcomes
+    ]
+    print(render_table(
+        ["strategy", "pick cloud time (s)", "x of optimal"],
+        rows,
+        title="Co-location strategies (Redis): how to compare configurations",
+    ))
+
+    mass = result.outcome("MassColocation")
+    solo = result.outcome("SoloExposure")
+    darwin = result.outcome("DarwinGame")
+
+    print(paper_vs_measured(
+        "mass co-location (1000 players) fails",
+        ">2.8x of optimal",
+        f"{mass.time_vs_optimal:.2f}x of optimal",
+        mass.time_vs_optimal > 1.5,
+    ))
+    print(paper_vs_measured(
+        "solo exposure loses to shared-noise games",
+        ">10% worse than DarwinGame",
+        f"{100 * (solo.mean_pick_time / darwin.mean_pick_time - 1):.0f}% worse",
+        solo.mean_pick_time > 1.05 * darwin.mean_pick_time,
+    ))
+    assert mass.time_vs_optimal > 1.5
+    assert solo.mean_pick_time > darwin.mean_pick_time
+    assert darwin.time_vs_optimal < 1.15

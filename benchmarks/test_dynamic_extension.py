@@ -1,0 +1,88 @@
+"""Sec. 5 aside: dynamic-parameter feedback is not worth its cost.
+
+The paper reports that extending the tournament with feedback loops that
+re-rank configurations after dynamic adjustments "often significantly
+increased the time and resources used for tuning (over 10%) for limited
+performance improvements (less than 5%)" — which is why shipped DarwinGame
+tunes static parameters only.  This bench measures that trade-off with the
+implemented extension.
+"""
+
+import numpy as np
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.dynamic import DynamicFeedbackDarwinGame
+from repro.core.tournament import DarwinGame
+from repro.experiments import paper_vs_measured, render_table
+
+APPS = ("redis", "lammps")
+SEEDS = (0, 1)
+
+
+def run_tradeoff():
+    rows = []
+    for app_name in APPS:
+        app = make_application(app_name, scale="bench")
+        for seed in SEEDS:
+            base_env = CloudEnvironment(seed=seed)
+            base = DarwinGame(DarwinGameConfig(seed=seed)).tune(app, base_env)
+            base_eval = base_env.measure_choice(app, base.best_index, runs=100)
+
+            feed_env = CloudEnvironment(seed=seed)
+            feed = DynamicFeedbackDarwinGame(DarwinGameConfig(seed=seed)).tune(
+                app, feed_env
+            )
+            feed_eval = feed_env.measure_choice(app, feed.best_index, runs=100)
+
+            rows.append({
+                "app": app_name,
+                "seed": seed,
+                "base_time": base_eval.mean_time,
+                "feed_time": feed_eval.mean_time,
+                "base_hours": base.core_hours,
+                "feed_hours": feed.core_hours,
+            })
+    return rows
+
+
+def test_dynamic_feedback_tradeoff(once):
+    rows = once(run_tradeoff)
+    print()
+    table = [
+        (
+            r["app"], r["seed"], r["base_time"], r["feed_time"],
+            100.0 * (1.0 - r["feed_time"] / r["base_time"]),
+            r["base_hours"], r["feed_hours"],
+            100.0 * (r["feed_hours"] / r["base_hours"] - 1.0),
+        )
+        for r in rows
+    ]
+    print(render_table(
+        ["app", "seed", "static (s)", "feedback (s)", "gain %",
+         "static core-h", "feedback core-h", "cost +%"],
+        table,
+        title="Dynamic feedback extension: performance gain vs tuning cost",
+    ))
+
+    gains = [100.0 * (1.0 - r["feed_time"] / r["base_time"]) for r in rows]
+    costs = [100.0 * (r["feed_hours"] / r["base_hours"] - 1.0) for r in rows]
+    # Direction reproduces (cost up, gain negligible); the magnitude of the
+    # cost increase is smaller than the paper's >10% because our regional
+    # phase dominates the tuning budget — recorded as a DIFF in
+    # EXPERIMENTS.md.
+    print(paper_vs_measured(
+        "dynamic feedback raises tuning cost", ">10%",
+        f"+{np.mean(costs):.1f}% on average", np.mean(costs) > 10.0,
+    ))
+    print(paper_vs_measured(
+        "dynamic feedback improves performance only marginally", "<5%",
+        f"{np.mean(gains):.1f}% on average", np.mean(gains) < 5.0,
+    ))
+    assert np.mean(costs) > 1.0, "feedback must cost measurably more"
+    assert np.mean(gains) < 5.0
+    # The feedback pick must never be *worse* than the static pick by much —
+    # the loop only replaces the incumbent after consistent head-to-head wins.
+    for r in rows:
+        assert r["feed_time"] <= r["base_time"] * 1.03

@@ -1,0 +1,72 @@
+"""Fig. 1: execution-time spread across configurations and across runs."""
+
+import numpy as np
+
+from repro.analysis.textplots import cdf_plot
+from repro.apps import make_application
+from repro.experiments import (
+    paper_vs_measured,
+    render_table,
+    run_fig1_left,
+    run_fig1_right,
+)
+
+
+def test_fig01_left_config_spread(once):
+    app = make_application("redis", scale="bench")
+    result = once(lambda: run_fig1_left(app, n_configs=250, seed=0))
+    print()
+    deciles = np.quantile(result.times, np.linspace(0, 1, 11))
+    print(
+        render_table(
+            ["decile", "execution time (s)"],
+            [(f"{10*i}%", float(t)) for i, t in enumerate(deciles)],
+            title="Fig. 1 (left) — CDF of 250 random Redis configurations",
+        )
+    )
+    print()
+    print(cdf_plot(
+        result.times,
+        title="Fig. 1 (left) — % of configurations vs execution time",
+        x_label="execution time (s)",
+        height=10,
+        width=56,
+    ))
+    frac_2x = 100 * result.fraction_at_least_2x_best
+    print(paper_vs_measured(
+        "spread of execution times (max/min)", ">3x (230-792s)",
+        f"{result.spread_ratio:.2f}x", result.spread_ratio > 2.5,
+    ))
+    print(paper_vs_measured(
+        "configurations >= 2x the best", ">93%", f"{frac_2x:.1f}%", frac_2x > 85.0,
+    ))
+    assert result.spread_ratio > 2.0
+    assert frac_2x > 80.0
+
+
+def test_fig01_right_run_variation(once):
+    app = make_application("redis", scale="bench")
+    result = once(lambda: run_fig1_right(app, runs=1000, seed=0))
+    print()
+    print(
+        render_table(
+            ["config", "mean (s)", "min (s)", "max (s)", "variation %"],
+            [
+                (
+                    label,
+                    float(series.mean()),
+                    float(series.min()),
+                    float(series.max()),
+                    100.0 * (series.max() - series.min()) / series.min(),
+                )
+                for label, series in zip(result.labels, result.per_config_times)
+            ],
+            title="Fig. 1 (right) — 1000 runs of configurations A/B/C",
+        )
+    )
+    print(paper_vs_measured(
+        "run-to-run variation of a fixed config", "up to ~45%",
+        f"up to {result.max_variation_percent:.0f}%",
+        result.max_variation_percent > 25.0,
+    ))
+    assert result.max_variation_percent > 15.0

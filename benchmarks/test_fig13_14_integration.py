@@ -1,0 +1,45 @@
+"""Figs. 13 and 14: integrating DarwinGame with ActiveHarmony and BLISS."""
+
+import numpy as np
+
+from repro.experiments import paper_vs_measured, render_table, run_integration
+
+APPS = ("redis", "gromacs", "ffmpeg", "lammps")
+
+
+def test_fig13_14_integration(once):
+    result = once(lambda: run_integration(APPS, scale="bench", repeats=2, seed=0))
+    print()
+    rows = []
+    for app in APPS:
+        for base in ("ActiveHarmony", "BLISS"):
+            alone = result.row(app, base)
+            hybrid = result.row(app, f"{base}+DarwinGame")
+            rows.append((
+                app, base, alone.mean_time, hybrid.mean_time,
+                result.improvement_percent(app, base),
+                alone.core_hours_pct_of_exhaustive,
+                hybrid.core_hours_pct_of_exhaustive,
+            ))
+    print(render_table(
+        ["app", "base tuner", "alone (s)", "+DarwinGame (s)", "improvement %",
+         "alone core-h %", "hybrid core-h %"],
+        rows,
+        title="Figs. 13/14 — integration with existing tuners",
+    ))
+    improvements = [result.improvement_percent(app, b)
+                    for app in APPS for b in ("ActiveHarmony", "BLISS")]
+    print(paper_vs_measured(
+        "integration improves execution time", ">15% on average (9-22% per case)",
+        f"{np.mean(improvements):.1f}% on average", np.mean(improvements) > 8.0,
+    ))
+    cheaper = sum(
+        result.row(a, f"{b}+DarwinGame").core_hours < result.row(a, b).core_hours
+        for a in APPS for b in ("ActiveHarmony", "BLISS")
+    )
+    print(paper_vs_measured(
+        "integration reduces tuning core-hours", "all cases",
+        f"{cheaper} of {2*len(APPS)} cases", cheaper >= 6,
+    ))
+    assert np.mean(improvements) > 5.0
+    assert cheaper >= 5

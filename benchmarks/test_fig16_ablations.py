@@ -1,0 +1,58 @@
+"""Fig. 16: contribution of each tournament design element."""
+
+import numpy as np
+
+from repro.core.config import ABLATION_NAMES
+from repro.experiments import paper_vs_measured, render_table
+from repro.experiments.ablations import run_ablations
+
+APPS = ("redis", "gromacs", "ffmpeg", "lammps")
+
+
+def test_fig16_ablations(once):
+    result = once(lambda: run_ablations(APPS, scale="bench", repeats=1, seed=0))
+    print()
+    rows = []
+    for app in APPS:
+        for name in ABLATION_NAMES:
+            r = result.row(app, name)
+            rows.append((
+                app, name, r.time_increase_percent, r.cov_increase_percent,
+                r.core_hours_increase_percent,
+            ))
+    print(render_table(
+        ["app", "ablation", "time +%", "CoV +%", "core-hours +%"],
+        rows,
+        title="Fig. 16 — % increase w.r.t. full DarwinGame",
+    ))
+
+    # Cost-saving features: removing them must inflate core-hours.
+    for name in ("all 2-player games", "w/o early termination"):
+        increases = [result.row(a, name).core_hours_increase_percent for a in APPS]
+        print(paper_vs_measured(
+            f"'{name}' raises tuning cost", ">30%",
+            f"{np.mean(increases):.0f}% on average", np.mean(increases) > 15.0,
+        ))
+        assert np.mean(increases) > 10.0
+
+    # Quality features: removing them must hurt execution time or CoV on
+    # most applications.
+    quality_ablations = (
+        "w/o regional", "one-win regional", "w/o Swiss", "w/o global",
+        "w/o consistency score", "w/o exe. score",
+    )
+    hurt = 0
+    for name in quality_ablations:
+        worse = sum(
+            result.row(a, name).time_increase_percent > 1.0
+            or result.row(a, name).cov_increase_percent > 50.0
+            for a in APPS
+        )
+        hurt += worse >= 2
+    print(paper_vs_measured(
+        "removing quality elements hurts outcome",
+        "all elements contribute",
+        f"{hurt} of {len(quality_ablations)} ablations hurt >=2 apps",
+        hurt >= 4,
+    ))
+    assert hurt >= 3

@@ -1,0 +1,72 @@
+"""Format predictive power under noise: the rationale behind Sec. 3's phases.
+
+The paper chooses double elimination over a plain knockout "so that the
+losing tuning configurations get an additional opportunity" and notes that
+Swiss-style play "is expected to converge logarithmically" while staying
+accurate for large pools.  This bench quantifies those claims with the
+clean-room format schedulers: predictive power (probability that the true
+strongest player wins) as observation noise grows, and the games each
+format costs.
+"""
+
+from repro.experiments import paper_vs_measured, render_table
+from repro.experiments.format_power import FORMAT_NAMES, run_format_power
+
+NOISES = (0.0, 0.25, 0.5, 1.0)
+
+
+def grid():
+    return run_format_power(
+        n_players=16, noise_levels=NOISES, trials=400, seed=0
+    )
+
+
+def test_format_predictive_power(once):
+    result = once(grid)
+    print()
+    rows = [
+        (
+            fmt,
+            noise,
+            result.row(fmt, noise).predictive_power,
+            result.row(fmt, noise).top2_power,
+            result.row(fmt, noise).mean_games,
+        )
+        for fmt in FORMAT_NAMES
+        for noise in NOISES
+    ]
+    print(render_table(
+        ["format", "noise std", "P(best wins)", "P(top-2 wins)", "games"],
+        rows,
+        title="Predictive power of tournament formats (16 players, 400 trials)",
+    ))
+
+    # Double elimination must beat single elimination once noise matters.
+    de = sum(result.row("DoubleElim", n).predictive_power for n in NOISES[1:])
+    se = sum(result.row("SingleElim", n).predictive_power for n in NOISES[1:])
+    print(paper_vs_measured(
+        "double elim protects against 'one bad day'",
+        "second chance improves winner quality",
+        f"sum power {de:.2f} vs single elim {se:.2f}",
+        de > se,
+    ))
+    assert de > se
+
+    # Swiss must be much cheaper than round-robin yet competitive in power.
+    swiss_games = result.row("Swiss", 0.5).mean_games
+    rr_games = result.row("RoundRobin", 0.5).mean_games
+    swiss_power = result.row("Swiss", 0.5).predictive_power
+    rr_power = result.row("RoundRobin", 0.5).predictive_power
+    print(paper_vs_measured(
+        "Swiss converges logarithmically",
+        "accurate at a fraction of round-robin cost",
+        f"{swiss_games:.0f} vs {rr_games:.0f} games, "
+        f"power {swiss_power:.2f} vs {rr_power:.2f}",
+        swiss_games < rr_games / 2 and swiss_power > 0.6 * rr_power,
+    ))
+    assert swiss_games < rr_games / 2
+    assert swiss_power > 0.5 * rr_power
+
+    # All formats perfect without noise.
+    for fmt in FORMAT_NAMES:
+        assert result.row(fmt, 0.0).predictive_power == 1.0

@@ -1,0 +1,25 @@
+"""Sec. 3.2/3.3: robustness to the d and n_r hyper-parameters."""
+
+from repro.experiments import paper_vs_measured, render_table, run_sensitivity
+
+
+def test_hyperparameter_sensitivity(once):
+    result = once(lambda: run_sensitivity("redis", scale="bench", seed=0))
+    print()
+    print(render_table(
+        ["parameter", "value", "exec time (s)"],
+        [(p.parameter, p.value, p.mean_time) for p in result.points],
+        title="Hyper-parameter sweeps (Redis)",
+    ))
+    d_spread = result.max_spread_percent("work_deviation")
+    r_spread = result.max_spread_percent("n_regions")
+    print(paper_vs_measured(
+        "outcome change for d in 5-15%", "<2.7%", f"{d_spread:.1f}%",
+        d_spread < 8.0,
+    ))
+    print(paper_vs_measured(
+        "outcome change for n_r in 0.5x-1.5x", "<3.7%", f"{r_spread:.1f}%",
+        r_spread < 8.0,
+    ))
+    assert d_spread < 15.0
+    assert r_spread < 15.0

@@ -1,0 +1,35 @@
+"""Table 1: tunable parameters and search-space sizes."""
+
+from repro.experiments import paper_vs_measured, render_table, run_table1
+
+
+def test_table1_spaces(once):
+    rows = once(run_table1)
+    print()
+    print(
+        render_table(
+            ["application", "app params", "system params", "space size", "paper"],
+            [
+                (
+                    r.app_name,
+                    len(r.app_parameters),
+                    len(r.system_parameters),
+                    r.space_size,
+                    f"{r.paper_size:.1e}",
+                )
+                for r in rows
+            ],
+            title="Table 1 — search spaces",
+        )
+    )
+    for r in rows:
+        holds = 0.9 < r.size_ratio < 1.1
+        print(
+            paper_vs_measured(
+                f"{r.app_name} space size",
+                f"{r.paper_size:.2e}",
+                f"{r.space_size:.2e}",
+                holds,
+            )
+        )
+        assert holds

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Enhancing an existing tuner with DarwinGame (Sec. 3.6 integration).
+
+BLISS navigates the search space with its pool of lightweight Bayesian
+models; DarwinGame then plays a full tournament inside each promising
+subspace BLISS identifies.  The combination finds faster, more stable
+configurations than BLISS alone — at lower tuning cost.
+
+Run with::
+
+    python examples/enhance_existing_tuner.py
+"""
+
+from repro import (
+    BlissLike,
+    CloudEnvironment,
+    DarwinGameConfig,
+    HybridTuner,
+    make_application,
+)
+from repro.experiments import render_table
+
+
+def main() -> None:
+    app = make_application("lammps", scale="bench")
+    rows = []
+
+    env = CloudEnvironment(seed=5)
+    alone = BlissLike(seed=5).tune(app, env)
+    alone_eval = env.measure_choice(app, alone.best_index)
+    rows.append(("BLISS", alone_eval.mean_time, alone_eval.cov_percent,
+                 alone.core_hours))
+
+    env = CloudEnvironment(seed=5)
+    hybrid = HybridTuner(BlissLike(seed=5), DarwinGameConfig(seed=5), seed=5)
+    combined = hybrid.tune(app, env)
+    combined_eval = env.measure_choice(app, combined.best_index)
+    rows.append((hybrid.name, combined_eval.mean_time, combined_eval.cov_percent,
+                 combined.core_hours))
+
+    print(render_table(
+        ["tuner", "exec time (s)", "CoV %", "core-hours"],
+        rows,
+        title=f"Integration on {app.name} ({app.space.size:,} configurations)",
+    ))
+    improvement = 100.0 * (alone_eval.mean_time - combined_eval.mean_time) / alone_eval.mean_time
+    saving = 100.0 * (alone.core_hours - combined.core_hours) / alone.core_hours
+    print(f"\nDarwinGame integration: {improvement:.1f}% faster execution, "
+          f"{saving:.0f}% fewer tuning core-hours.")
+    print(f"Subspaces visited: {combined.details['subspaces_visited']}")
+
+
+if __name__ == "__main__":
+    main()

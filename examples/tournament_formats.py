@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Why DarwinGame's phases use the formats they use.
+
+Plays the clean-room tournament formats of :mod:`repro.formats` over a
+field of synthetic players whose strengths are observed through noise — the
+abstraction of DarwinGame's situation, where a game's execution scores are
+the configurations' speeds seen through interference.  Reports each
+format's *predictive power* (how often the true strongest player wins) and
+cost in games, the trade-off behind the paper's phase design:
+
+* Swiss for the regional phase — near round-robin accuracy at a fraction
+  of the games;
+* double elimination for the global phase — protects strong players from
+  "one bad day";
+* cheap knockouts only at the very end, when two finalists remain.
+
+Run with::
+
+    python examples/tournament_formats.py
+"""
+
+from repro.analysis.textplots import hbar_chart
+from repro.experiments.format_power import FORMAT_NAMES, run_format_power
+
+
+def main() -> None:
+    print("Simulating 16-player tournaments, 300 trials per (format, noise)...")
+    result = run_format_power(
+        n_players=16,
+        noise_levels=(0.0, 0.25, 0.5, 1.0),
+        trials=300,
+        seed=0,
+    )
+
+    for noise in result.noise_levels():
+        print(f"\n--- observation noise std = {noise} ---")
+        print(hbar_chart(
+            list(FORMAT_NAMES),
+            [result.row(fmt, noise).predictive_power for fmt in FORMAT_NAMES],
+            width=40,
+            title="P(true best player wins the tournament)",
+        ))
+
+    print("\nCost of one tournament (games):")
+    print(hbar_chart(
+        list(FORMAT_NAMES),
+        [result.row(fmt, 0.5).mean_games for fmt in FORMAT_NAMES],
+        width=40,
+    ))
+
+    print(
+        "\nReading: double elimination buys a consistent accuracy premium over"
+        "\nsingle elimination for 2x the games; Swiss approaches round-robin"
+        "\naccuracy at ~25% of its cost — which is why DarwinGame screens the"
+        "\nhuge regional fields with Swiss play and reserves bracket play for"
+        "\nthe small global field."
+    )
+
+
+if __name__ == "__main__":
+    main()

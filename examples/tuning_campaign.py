@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""A full tuning campaign across the paper's four applications.
+
+For each of Redis, GROMACS, FFmpeg and LAMMPS this example runs DarwinGame
+and two baselines in the same simulated cloud, then prints a Fig. 10/11/12
+style comparison: execution time of the chosen configuration, its CoV over
+100 cloud runs, and the tuning cost in core-hours.
+
+Run with::
+
+    python examples/tuning_campaign.py [--scale test|bench] [--seed N]
+"""
+
+import argparse
+
+from repro import (
+    ActiveHarmonyLike,
+    BlissLike,
+    CloudEnvironment,
+    DarwinGame,
+    DarwinGameConfig,
+    make_application,
+)
+from repro.experiments import render_table
+
+
+def tune_once(app, strategy_name, seed):
+    env = CloudEnvironment(seed=seed)
+    if strategy_name == "DarwinGame":
+        result = DarwinGame(DarwinGameConfig(seed=seed)).tune(app, env)
+    elif strategy_name == "BLISS":
+        result = BlissLike(seed=seed).tune(app, env)
+    else:
+        result = ActiveHarmonyLike(seed=seed).tune(app, env)
+    evaluation = env.measure_choice(app, result.best_index)
+    return evaluation, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", help="space scale preset")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    rows = []
+    for name in ("redis", "gromacs", "ffmpeg", "lammps"):
+        app = make_application(name, scale=args.scale)
+        optimal = app.optimal.true_time
+        for strategy in ("DarwinGame", "BLISS", "ActiveHarmony"):
+            evaluation, result = tune_once(app, strategy, args.seed)
+            rows.append((
+                name,
+                strategy,
+                evaluation.mean_time,
+                100.0 * (evaluation.mean_time - optimal) / optimal,
+                evaluation.cov_percent,
+                result.core_hours,
+            ))
+        rows.append((name, "(oracle)", optimal, 0.0, 0.0, 0.0))
+
+    print(render_table(
+        ["app", "strategy", "exec time (s)", "vs optimal %", "CoV %", "core-hours"],
+        rows,
+        title=f"Tuning campaign at scale={args.scale!r}, seed={args.seed}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

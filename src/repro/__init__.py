@@ -1,0 +1,89 @@
+"""DarwinGame reproduction: tournament-based tuning in noisy clouds.
+
+Quickstart::
+
+    from repro import (
+        CloudEnvironment, DarwinGame, DarwinGameConfig, VMSpec, make_application,
+    )
+
+    app = make_application("redis", scale="test")
+    env = CloudEnvironment(VMSpec.preset("m5.8xlarge"), seed=7)
+    result = DarwinGame(DarwinGameConfig(seed=1)).tune(app, env)
+    print(result.best_values, result.core_hours)
+"""
+
+from repro.apps import (
+    APPLICATION_NAMES,
+    ApplicationModel,
+    make_application,
+    make_ffmpeg,
+    make_gromacs,
+    make_lammps,
+    make_redis,
+)
+from repro.cloud import (
+    DEFAULT_VM,
+    PRESETS,
+    CloudEnvironment,
+    InterferenceProcess,
+    InterferenceTrace,
+    ReplayedInterference,
+    VMSpec,
+    record_trace,
+)
+from repro.core import ABLATION_NAMES, DarwinGame, DarwinGameConfig
+from repro.core.dynamic import DynamicFeedbackDarwinGame, FeedbackConfig
+from repro.space import Parameter, SearchSpace, partition_regions, split_subspaces
+from repro.tuners import (
+    ActiveHarmonyLike,
+    BlissLike,
+    ExhaustiveSearch,
+    HybridTuner,
+    OpenTunerLike,
+    QuantileRegressionTuner,
+    RandomSearch,
+    ThompsonSamplingTuner,
+    Tuner,
+)
+from repro.types import ChoiceEvaluation, TuningResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABLATION_NAMES",
+    "APPLICATION_NAMES",
+    "ActiveHarmonyLike",
+    "ApplicationModel",
+    "BlissLike",
+    "ChoiceEvaluation",
+    "CloudEnvironment",
+    "DEFAULT_VM",
+    "DarwinGame",
+    "DarwinGameConfig",
+    "DynamicFeedbackDarwinGame",
+    "ExhaustiveSearch",
+    "FeedbackConfig",
+    "HybridTuner",
+    "InterferenceProcess",
+    "InterferenceTrace",
+    "OpenTunerLike",
+    "PRESETS",
+    "Parameter",
+    "QuantileRegressionTuner",
+    "RandomSearch",
+    "ReplayedInterference",
+    "SearchSpace",
+    "ThompsonSamplingTuner",
+    "Tuner",
+    "TuningResult",
+    "VMSpec",
+    "make_application",
+    "make_ffmpeg",
+    "make_gromacs",
+    "make_lammps",
+    "make_redis",
+    "partition_regions",
+    "record_trace",
+    "split_subspaces",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Statistical helpers and text plotting shared by experiments and tests."""
+
+from repro.analysis.importance import (
+    ImportanceReport,
+    ParameterImportance,
+    main_effects,
+)
+from repro.analysis.significance import (
+    ComparisonResult,
+    bootstrap_mean_diff,
+    cliffs_delta,
+    mann_whitney,
+)
+from repro.analysis.stats import (
+    bootstrap_ci,
+    cdf_points,
+    coefficient_of_variation,
+    geometric_mean,
+    percent_increase,
+    rank_with_ties,
+    summarize,
+)
+from repro.analysis.textplots import (
+    cdf_plot,
+    hbar_chart,
+    scatter_plot,
+    series_plot,
+)
+
+__all__ = [
+    "ImportanceReport",
+    "ParameterImportance",
+    "ComparisonResult",
+    "bootstrap_ci",
+    "bootstrap_mean_diff",
+    "cliffs_delta",
+    "cdf_plot",
+    "cdf_points",
+    "coefficient_of_variation",
+    "geometric_mean",
+    "hbar_chart",
+    "main_effects",
+    "mann_whitney",
+    "percent_increase",
+    "rank_with_ties",
+    "scatter_plot",
+    "series_plot",
+    "summarize",
+]

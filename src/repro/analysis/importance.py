@@ -1,0 +1,157 @@
+"""Parameter-importance analysis over a search space.
+
+After (or before) tuning, developers ask *which knobs actually matter*.
+This module estimates per-parameter main effects with a sampling-based
+functional-ANOVA decomposition:
+
+* draw a sample of configurations and their dedicated-environment times
+  (or noisy cloud observations — the caller chooses the time source);
+* for each parameter, group the sampled times by the parameter's level and
+  measure the variance of the group means — the share of total variance a
+  parameter explains on its own is its **main-effect importance**.
+
+The same decomposition applied to the noise-sensitivity surface reveals
+which knobs drive *fragility* — useful when the goal is a stable
+configuration rather than the fastest one (Takeaway II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.errors import ReproError
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ParameterImportance:
+    """Main-effect share of one parameter."""
+
+    name: str
+    dimension: int
+    importance: float          # fraction of total variance explained
+    best_level: int            # level with the lowest mean response
+    level_means: tuple         # mean response per level
+
+    @property
+    def best_value(self):
+        """Placeholder kept simple; decode via the space if needed."""
+        return self.best_level
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """Main-effect decomposition of one response surface."""
+
+    app_name: str
+    response: str
+    sample_size: int
+    parameters: List[ParameterImportance]
+
+    def ranked(self) -> List[ParameterImportance]:
+        """Parameters from most to least important."""
+        return sorted(self.parameters, key=lambda p: -p.importance)
+
+    def parameter(self, name: str) -> ParameterImportance:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def render(self, top: Optional[int] = None) -> str:
+        """Readable ranking with importance bars."""
+        rows = self.ranked()[: top or len(self.parameters)]
+        width = max(len(p.name) for p in rows)
+        lines = [f"Main-effect importance of {self.response} ({self.app_name}, "
+                 f"n={self.sample_size}):"]
+        for p in rows:
+            bar = "#" * max(1, int(round(40 * p.importance)))
+            lines.append(
+                f"  {p.name.ljust(width)} {100 * p.importance:6.2f}%  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def main_effects(
+    app: ApplicationModel,
+    *,
+    response: str = "time",
+    n: int = 4000,
+    seed: SeedLike = 0,
+    observe: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> ImportanceReport:
+    """Estimate per-parameter main effects by level-wise group means.
+
+    Args:
+        app: the application whose space is analysed.
+        response: ``"time"`` (dedicated-environment execution time),
+            ``"sensitivity"`` (noise fragility), or ``"custom"`` with an
+            ``observe`` callable mapping index arrays to responses.
+        n: sample size.
+        seed: sampling seed.
+        observe: custom response source (required iff ``response="custom"``),
+            e.g. noisy cloud observations from a ``CloudEnvironment``.
+    """
+    if n < 50:
+        raise ReproError(f"need at least 50 samples, got {n}")
+    sources: dict = {
+        "time": lambda idx: app.true_time(idx),
+        "sensitivity": lambda idx: app.sensitivity(idx),
+    }
+    if response == "custom":
+        if observe is None:
+            raise ReproError("response='custom' requires an observe callable")
+        source = observe
+    else:
+        try:
+            source = sources[response]
+        except KeyError:
+            raise ReproError(
+                f"unknown response {response!r}; expected 'time', "
+                "'sensitivity' or 'custom'"
+            ) from None
+
+    rng = ensure_rng(seed)
+    indices = app.space.sample_indices(min(n, app.space.size), rng)
+    responses = np.asarray(source(indices), dtype=float)
+    if responses.shape != indices.shape:
+        raise ReproError("observe must return one response per index")
+    levels = app.space.levels_matrix(indices)
+    total_var = float(responses.var())
+
+    parameters: List[ParameterImportance] = []
+    for dim, parameter in enumerate(app.space.parameters):
+        card = parameter.cardinality
+        means = np.empty(card)
+        for level in range(card):
+            mask = levels[:, dim] == level
+            means[level] = float(responses[mask].mean()) if mask.any() else np.nan
+        counts = np.array([
+            int((levels[:, dim] == level).sum()) for level in range(card)
+        ])
+        valid = counts > 0
+        grand = float(responses.mean())
+        between = float(
+            (counts[valid] * (means[valid] - grand) ** 2).sum() / max(1, n)
+        )
+        importance = between / total_var if total_var > 0 else 0.0
+        best_level = int(np.nanargmin(means))
+        parameters.append(
+            ParameterImportance(
+                name=parameter.name,
+                dimension=dim,
+                importance=float(importance),
+                best_level=best_level,
+                level_means=tuple(float(m) for m in means),
+            )
+        )
+    return ImportanceReport(
+        app_name=app.name,
+        response=response,
+        sample_size=int(indices.size),
+        parameters=parameters,
+    )

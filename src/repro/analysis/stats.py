@@ -1,0 +1,130 @@
+"""Small, dependency-light statistics used throughout the reproduction.
+
+The paper's metrics are simple (coefficient of variation, percent deltas,
+empirical CDFs); we centralise them here so every experiment computes them
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.rng import SeedLike, ensure_rng
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Return the coefficient of variation of ``values`` in percent.
+
+    Defined as ``100 * std / mean`` (population standard deviation), the
+    paper's measure of run-to-run performance variability.  Raises
+    ``ValueError`` for empty input or a zero mean, where CoV is undefined.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("coefficient of variation of empty sequence")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return 100.0 * float(arr.std()) / abs(mean)
+
+
+def percent_increase(value: float, baseline: float) -> float:
+    """Return how much larger ``value`` is than ``baseline``, in percent."""
+    if baseline == 0.0:
+        raise ValueError("percent increase undefined for zero baseline")
+    return 100.0 * (value - baseline) / baseline
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_percent)`` for an empirical CDF.
+
+    ``cumulative_percent[i]`` is the percentage of observations that are
+    ``<= sorted_values[i]`` — the representation used by Fig. 1.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("cdf of empty sequence")
+    pct = 100.0 * (np.arange(1, arr.size + 1) / arr.size)
+    return arr, pct
+
+
+def rank_with_ties(values: Sequence[float], *, descending: bool = False) -> np.ndarray:
+    """Competition-rank ``values`` starting at 1; equal values share a rank.
+
+    With ``descending=True`` the largest value gets rank 1 (the convention
+    for execution scores, where more work done is better).
+    """
+    arr = np.asarray(values, dtype=float)
+    if descending:
+        arr = -arr
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(arr.size, dtype=np.int64)
+    rank = 0
+    prev = None
+    for pos, idx in enumerate(order):
+        if prev is None or arr[idx] != prev:
+            rank = pos + 1
+            prev = arr[idx]
+        ranks[idx] = rank
+    return ranks
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary used in experiment reports."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    cov_percent: float
+    n: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("summary of empty sequence")
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        cov_percent=coefficient_of_variation(arr),
+        n=int(arr.size),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean of ``values``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("bootstrap of empty sequence")
+    rng = ensure_rng(seed)
+    samples = rng.choice(arr, size=(n_resamples, arr.size), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)

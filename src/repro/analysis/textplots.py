@@ -1,0 +1,198 @@
+"""Plain-text plots for terminal experiment reports.
+
+The benchmark harness regenerates the paper's figures as printed tables;
+for the figures whose message is a *shape* (CDFs, scatters, degradation
+curves) these renderers add a terminal-friendly visual so "regenerating
+Fig. 2" genuinely shows the trend, not just numbers.
+
+Everything renders to a plain string, uses ASCII only, and never depends on
+a display — safe in CI logs and pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_BAR_CHAR = "#"
+_POINT_CHAR = "*"
+_DENSE_CHAR = "@"
+
+
+def _check_width(width: int, height: int = 1) -> None:
+    if width < 10:
+        raise ReproError(f"plot width must be >= 10 columns, got {width}")
+    if height < 3:
+        raise ReproError(f"plot height must be >= 3 rows, got {height}")
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 60,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    Bars scale to the maximum value; each row prints the numeric value so
+    the chart is lossless.
+    """
+    _check_width(width, height=3)
+    if len(labels) != len(values):
+        raise ReproError("labels and values must have equal length")
+    if len(labels) == 0:
+        raise ReproError("nothing to plot")
+    vals = np.asarray(values, dtype=float)
+    if np.any(vals < 0):
+        raise ReproError("bar values must be non-negative")
+    vmax = float(vals.max()) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, vals):
+        bar = _BAR_CHAR * max(1 if value > 0 else 0, int(round(width * value / vmax)))
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    samples: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Empirical CDF as an ASCII line plot (Fig. 1's presentation)."""
+    _check_width(width, height)
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        raise ReproError("nothing to plot")
+    lo, hi = float(data[0]), float(data[-1])
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        x = lo + span * col / (width - 1)
+        fraction = float(np.searchsorted(data, x, side="right")) / data.size
+        row = height - 1 - int(round(fraction * (height - 1)))
+        grid[row][col] = _POINT_CHAR
+    lines: List[str] = [title] if title else []
+    for r, row in enumerate(grid):
+        pct = 100.0 * (height - 1 - r) / (height - 1)
+        lines.append(f"{pct:5.0f}% |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    footer = f"{lo:.3g}".ljust(width - 6) + f"{hi:.3g}"
+    lines.append(" " * 8 + footer)
+    if x_label:
+        lines.append(" " * 8 + x_label)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    highlight: Optional[Sequence[bool]] = None,
+) -> str:
+    """ASCII scatter plot; ``highlight`` marks points with ``@`` (Fig. 2's blues)."""
+    _check_width(width, height)
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size == 0 or x.shape != y.shape:
+        raise ReproError("need equal-length non-empty x and y")
+    marks = (
+        np.asarray(highlight, dtype=bool)
+        if highlight is not None
+        else np.zeros(x.shape, dtype=bool)
+    )
+    if marks.shape != x.shape:
+        raise ReproError("highlight mask must match the data length")
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi, hot in zip(x, y, marks):
+        col = int(round((xi - x_lo) / x_span * (width - 1)))
+        row = height - 1 - int(round((yi - y_lo) / y_span * (height - 1)))
+        current = grid[row][col]
+        grid[row][col] = _DENSE_CHAR if hot else (current if current == _DENSE_CHAR else _POINT_CHAR)
+    lines: List[str] = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        y_val = y_hi - y_span * r / (height - 1)
+        lines.append(f"{y_val:9.3g} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    footer = f"{x_lo:.3g}".ljust(width - 6) + f"{x_hi:.3g}"
+    lines.append(" " * 11 + footer)
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    return "\n".join(lines)
+
+
+def series_plot(
+    x: Sequence[float],
+    series: dict,
+    *,
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Several named y-series over a shared x axis (degradation curves).
+
+    Each series is drawn with its own letter (its name's first character,
+    uppercased, de-duplicated alphabetically on collision).
+    """
+    _check_width(width, height)
+    xs = np.asarray(x, dtype=float)
+    if xs.size < 2:
+        raise ReproError("series plots need at least two x positions")
+    if not series:
+        raise ReproError("no series to plot")
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    y_span = (y_hi - y_lo) or 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    x_span = (x_hi - x_lo) or 1.0
+
+    used: set = set()
+    symbols = {}
+    for name in series:
+        char = str(name)[:1].upper() or "?"
+        while char in used:
+            char = chr(ord(char) + 1) if char < "Z" else "?"
+        used.add(char)
+        symbols[name] = char
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        yv = np.asarray(ys, dtype=float)
+        if yv.shape != xs.shape:
+            raise ReproError(f"series {name!r} length does not match x")
+        for xi, yi in zip(xs, yv):
+            col = int(round((xi - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((yi - y_lo) / y_span * (height - 1)))
+            grid[row][col] = symbols[name]
+    lines: List[str] = [title] if title else []
+    for r, row in enumerate(grid):
+        y_val = y_hi - y_span * r / (height - 1)
+        lines.append(f"{y_val:9.3g} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    footer = f"{x_lo:.3g}".ljust(width - 6) + f"{x_hi:.3g}"
+    lines.append(" " * 11 + footer)
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    legend = "   ".join(f"{sym}={name}" for name, sym in symbols.items())
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

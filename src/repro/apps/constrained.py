@@ -1,0 +1,73 @@
+"""Constraint-aware application models (the "death penalty" encoding).
+
+Couples :mod:`repro.space.constraints` to the application layer:
+:func:`penalised_application` wraps an :class:`ApplicationModel` so that
+configurations violating the constraints run at a penalty time strictly
+above the surface's worst valid time, and with maximal noise sensitivity —
+so every tuner in the library (DarwinGame and baselines alike) avoids them
+organically, with no tuner-side special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.errors import SpaceError
+from repro.space.constraints import Constraint, valid_mask
+
+
+class ConstrainedApplication(ApplicationModel):
+    """An application whose invalid configurations run at a penalty time."""
+
+    def __init__(
+        self,
+        base: ApplicationModel,
+        constraints: Sequence[Constraint],
+        penalty_factor: float,
+    ) -> None:
+        super().__init__(
+            f"{base.name}+constraints",
+            base.space,
+            base.surface,
+            work_metric=base.work_metric,
+            scale=base.scale,
+        )
+        self._base = base
+        self._constraints = tuple(constraints)
+        self._penalty = penalty_factor
+
+    def valid(self, indices) -> np.ndarray:
+        """Constraint satisfaction per configuration."""
+        return valid_mask(self.space, self._constraints, indices)
+
+    def true_time(self, indices) -> np.ndarray:
+        times = self._base.true_time(indices)
+        ceiling = self.surface.spec.t_max * self._penalty
+        return np.where(self.valid(indices), times, ceiling)
+
+    def sensitivity(self, indices) -> np.ndarray:
+        # Invalid configurations thrash (retries, fallback paths): model
+        # them as maximally fragile so no tuner mistakes them for stable.
+        sens = self._base.sensitivity(indices)
+        return np.where(self.valid(indices), sens, 1.0)
+
+
+def penalised_application(
+    app: ApplicationModel,
+    constraints: Sequence[Constraint],
+    *,
+    penalty_factor: float = 1.5,
+) -> ConstrainedApplication:
+    """Wrap ``app`` so invalid configurations run at a penalty time.
+
+    ``penalty_factor`` scales the surface's ``t_max``; it must exceed 1 so
+    invalid points are strictly worse than every valid one.
+    """
+    if penalty_factor <= 1.0:
+        raise SpaceError(f"penalty_factor must be > 1, got {penalty_factor}")
+    if not constraints:
+        raise SpaceError("need at least one constraint")
+    return ConstrainedApplication(app, constraints, penalty_factor)

@@ -1,0 +1,65 @@
+"""GROMACS with the water-cut benchmark (Table 1, row 2).
+
+Molecular-dynamics runtime is dominated by the neighbour-search and
+electrostatics settings; the kernel scheduling knobs matter because GROMACS
+is tightly multi-threaded.  The full-scale space has 3,801,600 points
+(paper: 3.8 million).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.model import ApplicationModel
+from repro.apps.scaling import Scale, apply_scale, scale_label
+from repro.apps.surfaces import PerformanceSurface, SurfaceSpec
+from repro.rng import SeedLike
+from repro.space.parameters import Parameter, categorical, integer_range, value_grid
+from repro.space.space import SearchSpace
+
+SURFACE_SEED = 202
+
+# Per-parameter level cap for the "bench" scale (space of ~260k points).
+BENCH_CAP = 4
+
+# Fig. 10: GROMACS executions range up to ~2800 s; optimum near 700 s.
+SPEC = SurfaceSpec(t_min=700.0, t_max=2800.0)
+
+
+def build_parameters() -> List[Parameter]:
+    """GROMACS tunables, major parameters first."""
+    return [
+        # -- major knobs -------------------------------------------------
+        categorical("integrator", ("md", "md-vv", "sd", "bd")),
+        categorical(
+            "coulombtype",
+            ("PME", "Cut-off", "Ewald", "Reaction-Field", "PME-Switch"),
+        ),
+        categorical("cutoff-scheme", ("Verlet", "group")),
+        # -- minor knobs -------------------------------------------------
+        integer_range("nstlist", 10, 90, step=10),
+        value_grid("fourier_spacing", 0.08, 0.20, 11),
+        categorical("ns_type", ("grid", "simple")),
+        categorical("io-scheduler", ("none", "mq-deadline", "kyber", "bfq"), kind="system"),
+        categorical("vm.swappiness", (0, 10, 30, 60, 100), kind="system"),
+        categorical(
+            "kernel.sched_migration_cost_ns",
+            (50000, 100000, 250000, 500000, 1000000, 5000000),
+            kind="system",
+        ),
+        categorical("vm.dirty_ratio", (10, 20, 30, 40), kind="system"),
+    ]
+
+
+def make_gromacs(scale: Scale = "bench", seed: SeedLike = SURFACE_SEED) -> ApplicationModel:
+    """Build the GROMACS application model at the requested scale."""
+    cap: Scale = BENCH_CAP if scale == "bench" else scale
+    space = SearchSpace(apply_scale(build_parameters(), cap))
+    surface = PerformanceSurface(space, SPEC, seed)
+    return ApplicationModel(
+        "gromacs",
+        space,
+        surface,
+        work_metric="percentage of trajectory output produced",
+        scale=scale_label(scale),
+    )

@@ -1,0 +1,60 @@
+"""LAMMPS molecular-dynamics simulation (Table 1, row 4).
+
+Neighbour-list management and the timestep dominate runtime.  The full-scale
+space has 4,400,000 points (paper: 4.4 million).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.model import ApplicationModel
+from repro.apps.scaling import Scale, apply_scale, scale_label
+from repro.apps.surfaces import PerformanceSurface, SurfaceSpec
+from repro.rng import SeedLike
+from repro.space.parameters import Parameter, categorical, value_grid
+from repro.space.space import SearchSpace
+
+SURFACE_SEED = 404
+
+# Per-parameter level cap for the "bench" scale (space of ~310k points; a
+# cap of 4 would leave the near-optimal plateau too sparse for the noisy
+# argmin pathologies the paper demonstrates).
+BENCH_CAP = 5
+
+# Fig. 10: LAMMPS executions range up to ~2250 s; optimum near 750 s.
+SPEC = SurfaceSpec(t_min=750.0, t_max=2250.0)
+
+
+def build_parameters() -> List[Parameter]:
+    """LAMMPS tunables, major parameters first."""
+    return [
+        # -- major knobs -------------------------------------------------
+        categorical("integrator", ("verlet", "verlet/split", "respa", "brownian")),
+        value_grid("neighbor-skin-distance", 0.1, 1.0, 10),
+        value_grid("cutoff-distance", 2.0, 12.0, 11),
+        # -- minor knobs -------------------------------------------------
+        categorical("neighbor-rebuild-every", (1, 2, 5, 10, 20, 25, 50, 100)),
+        value_grid("timestep-fs", 0.25, 2.5, 10),
+        categorical("output-frequency", (100, 500, 1000, 5000, 10000)),
+        categorical("vm.swappiness", (0, 10, 30, 60, 100), kind="system"),
+        categorical(
+            "kernel.sched_migration_cost_ns",
+            (50000, 100000, 500000, 1000000, 5000000),
+            kind="system",
+        ),
+    ]
+
+
+def make_lammps(scale: Scale = "bench", seed: SeedLike = SURFACE_SEED) -> ApplicationModel:
+    """Build the LAMMPS application model at the requested scale."""
+    cap: Scale = BENCH_CAP if scale == "bench" else scale
+    space = SearchSpace(apply_scale(build_parameters(), cap))
+    surface = PerformanceSurface(space, SPEC, seed)
+    return ApplicationModel(
+        "lammps",
+        space,
+        surface,
+        work_metric="percentage of simulation output produced",
+        scale=scale_label(scale),
+    )

@@ -1,0 +1,124 @@
+"""The application abstraction every tuner works against.
+
+An :class:`ApplicationModel` bundles a search space with a performance
+surface and exposes exactly what a real tuning harness can see:
+
+* ``true_time(indices)`` — interference-free execution time (the simulator's
+  ground truth; in the paper this is measurable only on dedicated hardware),
+* ``sensitivity(indices)`` — how interference inflates a run (never visible
+  to tuners directly, only through noisy observations), and
+* oracle helpers (:meth:`optimal`, :meth:`best_robust`) computed by scanning
+  the full space — the "practically infeasible" comparison points of Sec. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.surfaces import PerformanceSurface
+from repro.space.space import SearchSpace
+
+
+@dataclass(frozen=True)
+class OraclePoint:
+    """A ground-truth reference configuration (index + dedicated-env time)."""
+
+    index: int
+    true_time: float
+    sensitivity: float
+
+
+class ApplicationModel:
+    """A tunable application: search space + performance surface + metadata.
+
+    Attributes:
+        name: application name (``"redis"``, ``"gromacs"``, ...).
+        space: the tuning search space (Table 1 parameters).
+        surface: the synthetic performance surface.
+        work_metric: human-readable description of the progress counter used
+            for early termination (Sec. 4: requests served, frames encoded,
+            fraction of output produced).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: SearchSpace,
+        surface: PerformanceSurface,
+        *,
+        work_metric: str = "fraction of work completed",
+        scale: str = "custom",
+    ) -> None:
+        self.name = name
+        self.space = space
+        self.surface = surface
+        self.work_metric = work_metric
+        self.scale = scale
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ApplicationModel({self.name!r}, size={self.space.size}, "
+            f"scale={self.scale!r})"
+        )
+
+    # -- the two physical quantities -------------------------------------
+
+    def true_time(self, indices) -> np.ndarray:
+        """Interference-free execution time (seconds) of each configuration."""
+        levels = self.space.levels_matrix(np.asarray(indices, dtype=np.int64))
+        return self.surface.times_of_levels(levels)
+
+    def sensitivity(self, indices) -> np.ndarray:
+        """Noise sensitivity of each configuration (0 = immune)."""
+        return self.surface.sensitivities(np.asarray(indices, dtype=np.int64))
+
+    def is_robust(self, indices) -> np.ndarray:
+        """Whether each configuration belongs to the interference-immune subset."""
+        return self.surface.robust_mask(np.asarray(indices, dtype=np.int64))
+
+    # -- oracle scans ------------------------------------------------------
+
+    def _scan(self, mask_robust: bool) -> OraclePoint:
+        best_idx: Optional[int] = None
+        best_time = np.inf
+        for chunk in self.space.iter_chunks():
+            levels = self.space.levels_matrix(chunk)
+            times = self.surface.times_of_levels(levels)
+            if mask_robust:
+                robust = self.surface.robust_mask(chunk)
+                times = np.where(robust, times, np.inf)
+            pos = int(np.argmin(times))
+            if times[pos] < best_time:
+                best_time = float(times[pos])
+                best_idx = int(chunk[pos])
+        assert best_idx is not None
+        sens = float(self.sensitivity(np.array([best_idx]))[0])
+        return OraclePoint(index=best_idx, true_time=best_time, sensitivity=sens)
+
+    @cached_property
+    def optimal(self) -> OraclePoint:
+        """The paper's *optimal configuration*: global minimum true time.
+
+        Determined by exhaustive scan of the space in a dedicated (noise-free)
+        environment — exactly the infeasible-in-practice procedure Sec. 2
+        describes for establishing the comparison point.
+        """
+        return self._scan(mask_robust=False)
+
+    @cached_property
+    def best_robust(self) -> OraclePoint:
+        """Fastest configuration among the low-variation (robust) subset.
+
+        This is the kind of configuration a desirable tuner should return
+        (Takeaway II); DarwinGame's output is expected to land at or near it.
+        """
+        return self._scan(mask_robust=True)
+
+    def optimality_gap_percent(self, index: int) -> float:
+        """How far (in % of true time) a configuration is from the optimum."""
+        t = float(self.true_time(np.array([index]))[0])
+        return 100.0 * (t - self.optimal.true_time) / self.optimal.true_time

@@ -1,0 +1,78 @@
+"""Redis 6.0 serving one million requests (Table 1, row 1).
+
+Application-level knobs come from ``redis.conf``; systems-level knobs are the
+kernel/IO settings the paper adjusts via ``sysctl``/``taskset``.  The three
+leading (major) parameters dominate execution time: eviction policy, AOF
+fsync policy, and the I/O scheduler — each has a small number of good
+settings and many bad ones, producing the paper's needle-in-a-haystack
+search landscape.  The full-scale space has 7,680,000 points (paper: 7.8
+million; the small difference comes from our explicit level grids).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.model import ApplicationModel
+from repro.apps.scaling import Scale, apply_scale, scale_label
+from repro.apps.surfaces import PerformanceSurface, SurfaceSpec
+from repro.rng import SeedLike
+from repro.space.parameters import Parameter, boolean, categorical
+from repro.space.space import SearchSpace
+
+SURFACE_SEED = 101
+
+# Per-parameter level cap for the "bench" scale (space of ~210k points).
+BENCH_CAP = 3
+
+# Fig. 1: Redis execution times span 230..792 seconds across configurations.
+SPEC = SurfaceSpec(t_min=230.0, t_max=792.0)
+
+
+def build_parameters() -> List[Parameter]:
+    """Redis tunables, major (bimodal-effect) parameters first."""
+    return [
+        # -- major knobs -------------------------------------------------
+        categorical(
+            "maxmemory-policy",
+            (
+                "noeviction",
+                "allkeys-lru",
+                "volatile-lru",
+                "allkeys-lfu",
+                "volatile-lfu",
+                "allkeys-random",
+                "volatile-random",
+                "volatile-ttl",
+            ),
+        ),
+        categorical("appendfsync", ("always", "everysec", "no")),
+        categorical(
+            "io-scheduler", ("none", "mq-deadline", "kyber", "bfq"), kind="system"
+        ),
+        # -- minor knobs -------------------------------------------------
+        categorical("tcp-backlog", (128, 256, 511, 1024, 2048)),
+        categorical("maxmemory", ("1gb", "2gb", "4gb", "8gb", "16gb")),
+        categorical("hz", (10, 25, 50, 75, 100)),
+        boolean("appendonly"),
+        boolean("rdbcompression"),
+        boolean("lazyfree-lazy-eviction"),
+        boolean("dynamic-hz"),
+        boolean("activedefrag"),
+        categorical("read-ahead-kb", (128, 256, 512, 1024), kind="system"),
+        categorical("vm.swappiness", (0, 10, 30, 60, 100), kind="system"),
+    ]
+
+
+def make_redis(scale: Scale = "bench", seed: SeedLike = SURFACE_SEED) -> ApplicationModel:
+    """Build the Redis application model at the requested scale."""
+    cap: Scale = BENCH_CAP if scale == "bench" else scale
+    space = SearchSpace(apply_scale(build_parameters(), cap))
+    surface = PerformanceSurface(space, SPEC, seed)
+    return ApplicationModel(
+        "redis",
+        space,
+        surface,
+        work_metric="percentage of the one million requests completed",
+        scale=scale_label(scale),
+    )

@@ -1,0 +1,56 @@
+"""Space-scale presets shared by all application definitions.
+
+The paper's spaces hold millions of points; simulating full-scale campaigns
+is possible (everything is lazy/vectorised) but unnecessary for most tests
+and benchmarks.  Every application accepts a *scale*:
+
+* ``"full"`` — the paper-sized space (millions of configurations),
+* ``"bench"`` — every parameter truncated to at most 3 levels (spaces of
+  tens to hundreds of thousands of points; used by the benchmark harness),
+* ``"test"`` — at most 2 levels per parameter (thousands of points; used by
+  the unit-test suite), or
+* an integer — a custom per-parameter level cap.
+
+Truncation keeps each knob's value range (first and last candidate values
+survive), so scaled spaces remain qualitatively faithful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import SpaceError
+from repro.space.parameters import Parameter
+
+Scale = Union[str, int]
+
+_CAPS = {"full": None, "bench": 3, "test": 2}
+
+
+def level_cap(scale: Scale) -> Optional[int]:
+    """Resolve a scale preset (or explicit cap) to a per-parameter level cap."""
+    if isinstance(scale, bool):  # bool is an int subclass; reject explicitly
+        raise SpaceError(f"invalid scale {scale!r}")
+    if isinstance(scale, int):
+        if scale < 1:
+            raise SpaceError(f"level cap must be >= 1, got {scale}")
+        return scale
+    try:
+        return _CAPS[scale]
+    except KeyError:
+        raise SpaceError(
+            f"unknown scale {scale!r}; expected one of {sorted(_CAPS)} or an int"
+        ) from None
+
+
+def apply_scale(parameters: List[Parameter], scale: Scale) -> List[Parameter]:
+    """Truncate every parameter according to the scale preset."""
+    cap = level_cap(scale)
+    if cap is None:
+        return list(parameters)
+    return [p.truncated(cap) for p in parameters]
+
+
+def scale_label(scale: Scale) -> str:
+    """Human-readable label for reports."""
+    return scale if isinstance(scale, str) else f"cap{scale}"

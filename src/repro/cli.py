@@ -1,0 +1,282 @@
+"""Command-line interface for the DarwinGame reproduction.
+
+Subcommands::
+
+    python -m repro tune --app redis --scale bench --seed 7
+    python -m repro compare --app lammps --strategies DarwinGame,BLISS
+    python -m repro experiment --name fig10 --scale test
+    python -m repro table1
+
+The CLI is a thin layer over the library; anything it prints can be
+recomputed programmatically through :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import APPLICATION_NAMES, make_application
+from repro.cloud.vm import PRESETS
+from repro.experiments import (
+    STRATEGY_NAMES,
+    render_table,
+    run_format_power,
+    run_headline,
+    run_sensitivity,
+    run_shift_study,
+    run_stability,
+    run_statistical_comparison,
+    run_strategy,
+    run_table1,
+    run_vm_sweep,
+)
+from repro.experiments.format_power import FORMAT_NAMES
+
+_EXPERIMENTS = (
+    "fig10", "fig11", "fig12", "fig15", "stability", "sensitivity",
+    "formats", "shift", "statistical",
+)
+#: Extra strategies selectable via ``tune``/``compare`` beyond the Fig. 10 set.
+_EXTRA_STRATEGIES = (
+    "QuantileRegression",
+    "ThompsonSampling",
+    "GeneticAlgorithm",
+    "SimulatedAnnealing",
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--app", default="redis", choices=APPLICATION_NAMES, help="application to tune"
+    )
+    parser.add_argument("--scale", default="bench", help="space scale preset")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--vm", default="m5.8xlarge", choices=sorted(PRESETS), help="instance type"
+    )
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    app = make_application(args.app, scale=args.scale)
+    run = run_strategy(
+        app, args.strategy, vm=PRESETS[args.vm], seed=args.seed
+    )
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("application", app.name),
+            ("search space", app.space.size),
+            ("strategy", run.strategy),
+            ("chosen index", run.best_index),
+            ("mean cloud exec time (s)", run.mean_time),
+            ("CoV %", run.cov_percent),
+            ("tuning core-hours", run.core_hours),
+        ],
+        title=f"{run.strategy} on {app.name} ({args.vm})",
+    ))
+    print("\nChosen configuration:")
+    for knob, value in app.space.config_dict(run.best_index).items():
+        print(f"  {knob} = {value}")
+    if args.save:
+        from repro.experiments.persistence import save_campaign
+        from repro.types import TuningResult
+
+        # Persist what the CLI knows: the choice, its quality, the cost.
+        result = TuningResult(
+            tuner_name=run.strategy,
+            best_index=run.best_index,
+            best_values=app.space.values_of(run.best_index),
+            evaluations=0,
+            core_hours=run.core_hours,
+            tuning_seconds=run.tuning_seconds,
+        )
+        path = save_campaign(
+            result, run.evaluation, args.save,
+            app_name=app.name, vm_name=args.vm,
+            notes=f"scale={args.scale} seed={args.seed}",
+        )
+        print(f"\nCampaign archived to {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.persistence import load_campaign
+
+    result, evaluation, meta = load_campaign(args.path)
+    rows = [
+        ("application", meta.get("app", "?")),
+        ("VM", meta.get("vm", "?")),
+        ("strategy", result.tuner_name),
+        ("chosen index", result.best_index),
+        ("tuning core-hours", result.core_hours),
+    ]
+    if evaluation is not None:
+        rows.extend([
+            ("mean cloud exec time (s)", evaluation.mean_time),
+            ("CoV %", evaluation.cov_percent),
+        ])
+    if meta.get("notes"):
+        rows.append(("notes", meta["notes"]))
+    print(render_table(["metric", "value"], rows, title=f"Campaign {args.path}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    strategies = tuple(s.strip() for s in args.strategies.split(","))
+    known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
+    unknown = [s for s in strategies if s not in known]
+    if unknown:
+        print(f"unknown strategies: {unknown}; available: {list(known)}")
+        return 2
+    app = make_application(args.app, scale=args.scale)
+    rows = []
+    for strategy in strategies:
+        run = run_strategy(app, strategy, vm=PRESETS[args.vm], seed=args.seed)
+        rows.append((strategy, run.mean_time, run.cov_percent, run.core_hours))
+    print(render_table(
+        ["strategy", "exec time (s)", "CoV %", "core-hours"],
+        rows,
+        title=f"Comparison on {app.name} (scale={args.scale}, seed={args.seed})",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name in ("fig10", "fig11", "fig12"):
+        result = run_headline(scale=args.scale, repeats=args.repeats, seed=args.seed)
+        metric = {
+            "fig10": ("exec time (s)", lambda r: r.mean_time),
+            "fig11": ("CoV %", lambda r: r.cov_percent),
+            "fig12": ("% of exhaustive core-hours",
+                      lambda r: r.core_hours_pct_of_exhaustive),
+        }[args.name]
+        rows = [(r.app_name, r.strategy, metric[1](r)) for r in result.rows]
+        print(render_table(["app", "strategy", metric[0]], rows, title=args.name))
+    elif args.name == "fig15":
+        result = run_vm_sweep(scale=args.scale, seed=args.seed)
+        rows = [(r.vm_name, r.darwin_time, r.gap_percent, r.cov_percent)
+                for r in result.rows]
+        print(render_table(
+            ["VM", "DarwinGame (s)", "gap %", "CoV %"], rows, title="fig15"
+        ))
+    elif args.name == "stability":
+        result = run_stability(scale=args.scale, repeats=args.repeats, seed=args.seed)
+        print(render_table(
+            ["repeats", "distinct picks", "modal fraction"],
+            [(result.repeats, result.distinct_picks, result.modal_pick_fraction)],
+            title="pick stability",
+        ))
+    elif args.name == "sensitivity":
+        result = run_sensitivity(scale=args.scale, seed=args.seed)
+        print(render_table(
+            ["parameter", "value", "exec time (s)"],
+            [(p.parameter, p.value, p.mean_time) for p in result.points],
+            title="hyper-parameter sensitivity",
+        ))
+    elif args.name == "formats":
+        result = run_format_power(trials=200, seed=args.seed)
+        rows = [
+            (fmt, noise, result.row(fmt, noise).predictive_power,
+             result.row(fmt, noise).mean_games)
+            for fmt in FORMAT_NAMES
+            for noise in result.noise_levels()
+        ]
+        print(render_table(
+            ["format", "noise std", "P(best wins)", "games"],
+            rows, title="tournament-format predictive power",
+        ))
+    elif args.name == "shift":
+        result = run_shift_study(scale=args.scale, seed=args.seed)
+        rows = [
+            (r.strategy, r.shift, r.mean_time, r.degradation_percent)
+            for r in result.rows
+        ]
+        print(render_table(
+            ["strategy", "level shift", "exec time (s)", "degradation %"],
+            rows, title="interference distribution shift",
+        ))
+    elif args.name == "statistical":
+        result = run_statistical_comparison(
+            scale=args.scale, repeats=args.repeats, seed=args.seed
+        )
+        rows = [
+            (r.app_name, r.strategy, r.mean_time, r.gap_vs_optimal_percent,
+             r.cov_percent)
+            for r in result.rows
+        ]
+        print(render_table(
+            ["app", "strategy", "exec time (s)", "gap %", "CoV %"],
+            rows, title="Sec. 3.2 statistical baselines",
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = run_table1()
+    print(render_table(
+        ["application", "app params", "system params", "space size"],
+        [
+            (r.app_name, len(r.app_parameters), len(r.system_parameters), r.space_size)
+            for r in rows
+        ],
+        title="Table 1 — search spaces (full scale)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DarwinGame reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tune = sub.add_parser("tune", help="run one tuning campaign")
+    _add_common(p_tune)
+    p_tune.add_argument(
+        "--strategy",
+        default="DarwinGame",
+        choices=tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES,
+    )
+    p_tune.add_argument(
+        "--save", default="", help="archive the campaign to this JSON path"
+    )
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_report = sub.add_parser("report", help="print an archived campaign")
+    p_report.add_argument("path", help="campaign JSON written by tune --save")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser("compare", help="compare strategies on one app")
+    _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--strategies", default="DarwinGame,BLISS,ActiveHarmony",
+        help="comma-separated strategy names",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("--name", required=True, choices=_EXPERIMENTS)
+    p_exp.add_argument("--scale", default="bench")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--repeats", type=int, default=3)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_t1 = sub.add_parser("table1", help="print Table 1")
+    p_t1.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Core-hour accounting (the paper's tuning-cost metric, Fig. 12).
+
+Every tuning activity books ``vcpus * seconds`` against a label; the ledger
+turns those into core-hours.  Keeping this in one place means DarwinGame and
+every baseline are billed identically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import CloudError
+
+
+@dataclass
+class CoreHourLedger:
+    """Accumulates core-seconds per activity label."""
+
+    _core_seconds: Dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    _wall_seconds: float = 0.0
+
+    def book(self, *, vcpus: int, seconds: float, label: str = "tuning") -> None:
+        """Record ``vcpus`` busy for ``seconds`` under ``label``."""
+        if vcpus <= 0:
+            raise CloudError(f"vcpus must be positive, got {vcpus}")
+        if seconds < 0:
+            raise CloudError(f"cannot book negative time: {seconds}")
+        self._core_seconds[label] += vcpus * seconds
+
+    def advance_wall(self, seconds: float) -> None:
+        """Record simulated wall-clock time of the campaign."""
+        if seconds < 0:
+            raise CloudError(f"cannot advance wall clock by {seconds}")
+        self._wall_seconds += seconds
+
+    @property
+    def core_hours(self) -> float:
+        """Total core-hours across all labels."""
+        return sum(self._core_seconds.values()) / 3600.0
+
+    @property
+    def wall_hours(self) -> float:
+        return self._wall_seconds / 3600.0
+
+    def core_hours_by_label(self) -> Dict[str, float]:
+        """Core-hours per label, for per-phase cost breakdowns."""
+        return {k: v / 3600.0 for k, v in self._core_seconds.items()}
+
+    def snapshot(self) -> float:
+        """Current total, convenient for measuring a section's cost delta."""
+        return self.core_hours
+
+    def reset(self) -> None:
+        self._core_seconds.clear()
+        self._wall_seconds = 0.0

@@ -1,0 +1,111 @@
+"""Bounded-parallelism fleet scheduling for tournament campaigns.
+
+The tournament's phases parallelise across VMs ("games in different regions
+can be played in parallel in different VMs", Sec. 3.3), and the simulated
+campaign clock assumes an unbounded fleet: a round takes as long as its
+longest game.  Real users rent a *finite* number of VMs, so the wall-clock
+time of a round is a makespan-scheduling problem: distribute the games
+(known durations) over ``n`` identical machines.
+
+This module provides the classic LPT (longest processing time first)
+approximation and the resulting cost/wall-time trade-off curve, so a user
+can answer "how many VMs should I rent to finish tuning overnight?".
+Core-hours are fleet-size-invariant (the same games are played either way);
+only the wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import CloudError
+
+
+@dataclass(frozen=True)
+class FleetSchedule:
+    """An assignment of game durations to a fleet of identical VMs."""
+
+    n_vms: int
+    makespan: float                     # wall-clock seconds to finish all games
+    loads: Tuple[float, ...]            # total busy seconds per VM
+    assignments: Tuple[Tuple[int, ...], ...]  # game ids per VM
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.loads))
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of rented VM-time spent actually playing games."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.total_work / (self.n_vms * self.makespan)
+
+
+def schedule_lpt(durations: Sequence[float], n_vms: int) -> FleetSchedule:
+    """Schedule games onto ``n_vms`` with the LPT heuristic.
+
+    LPT sorts jobs by decreasing duration and always assigns the next job to
+    the least-loaded machine; it is within 4/3 of the optimal makespan.
+    """
+    if n_vms < 1:
+        raise CloudError(f"fleet needs at least one VM, got {n_vms}")
+    jobs = [float(d) for d in durations]
+    if any(d < 0 for d in jobs):
+        raise CloudError("game durations must be non-negative")
+    if not jobs:
+        return FleetSchedule(
+            n_vms=n_vms, makespan=0.0,
+            loads=tuple(0.0 for _ in range(n_vms)),
+            assignments=tuple(() for _ in range(n_vms)),
+        )
+
+    order = sorted(range(len(jobs)), key=lambda j: -jobs[j])
+    heap: List[Tuple[float, int]] = [(0.0, vm) for vm in range(n_vms)]
+    heapq.heapify(heap)
+    loads = [0.0] * n_vms
+    assignments: List[List[int]] = [[] for _ in range(n_vms)]
+    for job in order:
+        load, vm = heapq.heappop(heap)
+        loads[vm] = load + jobs[job]
+        assignments[vm].append(job)
+        heapq.heappush(heap, (loads[vm], vm))
+    return FleetSchedule(
+        n_vms=n_vms,
+        makespan=max(loads),
+        loads=tuple(loads),
+        assignments=tuple(tuple(a) for a in assignments),
+    )
+
+
+@dataclass(frozen=True)
+class FleetPoint:
+    """One point of the fleet-size trade-off curve."""
+
+    n_vms: int
+    wall_clock: float
+    utilisation: float
+
+
+def fleet_tradeoff(
+    durations: Sequence[float], fleet_sizes: Sequence[int]
+) -> List[FleetPoint]:
+    """Wall-clock and utilisation for each candidate fleet size.
+
+    The total core-hours are identical across fleet sizes (same games); the
+    curve shows how much rented *calendar* time each fleet buys, and how
+    much of it idles once the fleet outgrows the round's parallelism.
+    """
+    points = []
+    for n in fleet_sizes:
+        schedule = schedule_lpt(durations, n)
+        points.append(
+            FleetPoint(
+                n_vms=n,
+                wall_clock=schedule.makespan,
+                utilisation=schedule.utilisation,
+            )
+        )
+    return points

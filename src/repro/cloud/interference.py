@@ -1,0 +1,147 @@
+"""Stochastic background-interference process of a shared cloud host.
+
+The process has three components, chosen to reproduce the published
+observations (Figs. 1–3) without pretending to model EC2 mechanistically:
+
+* a **slow drift**: a diurnal load cycle plus an hourly random walk —
+  tenant churn.  This is what makes tuning campaigns started at different
+  times (the paper's T1/T2/T3) see different environments.
+* a **fast fluctuation**: an Ornstein–Uhlenbeck-style component with a
+  correlation time of about a minute.  Averaging over a long run attenuates
+  it by ``sqrt(1 + duration / tau)``.
+* **noisy-neighbour bursts**: Poisson-arriving episodes of heavy contention
+  lasting a couple of minutes.
+
+Two query styles are provided.  Solo runs (how every baseline tuner samples)
+need only the *mean* level over a run — :meth:`sample_run_means` is fully
+vectorised for the exhaustive-search scan.  Co-located games need a
+*trajectory* so that early termination can observe work progress through
+time — :meth:`sample_trajectory`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cloud.vm import InterferenceProfile
+from repro.errors import CloudError
+from repro.rng import SeedLike, child, ensure_rng
+
+_DAY_SECONDS = 86400.0
+_BUCKET_SECONDS = 3600.0
+_MIN_LEVEL = 0.01
+
+
+class InterferenceProcess:
+    """Seeded realisation of one host's interference over simulated time."""
+
+    def __init__(self, profile: InterferenceProfile, seed: SeedLike = None) -> None:
+        self.profile = profile
+        rng = ensure_rng(seed)
+        self._walk_rng = child(rng)
+        self._phase = float(ensure_rng(child(rng)).uniform(0.0, 2.0 * math.pi))
+        # Lazily extended random-walk table, one entry per hour bucket.
+        self._walk = np.zeros(1, dtype=float)
+
+    # -- slow component -------------------------------------------------
+
+    # AR(1) coefficient of the hourly tenant-churn walk.  With innovation
+    # std sigma the stationary std is sigma / sqrt(1 - rho^2) ~= 5 * sigma,
+    # so campaigns weeks apart see genuinely different (but bounded) epochs.
+    _WALK_RHO = 0.98
+
+    def _extend_walk(self, bucket: int) -> None:
+        if bucket < len(self._walk):
+            return
+        extra = bucket - len(self._walk) + 1
+        steps = self._walk_rng.normal(0.0, self.profile.drift_std, size=extra)
+        tail = np.empty(extra)
+        state = float(self._walk[-1])
+        for k in range(extra):
+            state = self._WALK_RHO * state + steps[k]
+            tail[k] = state
+        self._walk = np.concatenate([self._walk, tail])
+
+    def epoch_mean(self, t) -> np.ndarray:
+        """Deterministic-given-seed slow mean level at time(s) ``t`` (seconds)."""
+        ts = np.atleast_1d(np.asarray(t, dtype=float))
+        if np.any(ts < 0):
+            raise CloudError("interference queried at negative time")
+        buckets = (ts / _BUCKET_SECONDS).astype(np.int64)
+        self._extend_walk(int(buckets.max()) if buckets.size else 0)
+        diurnal = self.profile.diurnal_amplitude * np.sin(
+            2.0 * math.pi * ts / _DAY_SECONDS + self._phase
+        )
+        level = self.profile.mean_level + diurnal + self._walk[buckets]
+        return np.maximum(level, _MIN_LEVEL)
+
+    # -- solo-run sampling ------------------------------------------------
+
+    def sample_run_means(
+        self, start_times, durations, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Mean interference level over each run (vectorised).
+
+        ``start_times`` and ``durations`` broadcast against each other.  The
+        fast component is attenuated by run length; bursts contribute with
+        probability ``1 - exp(-rate * duration)``, diluted by
+        ``burst_duration / duration`` for runs longer than a burst.
+        """
+        t0 = np.asarray(start_times, dtype=float)
+        dur = np.asarray(durations, dtype=float)
+        t0, dur = np.broadcast_arrays(t0, dur)
+        if np.any(dur <= 0):
+            raise CloudError("run duration must be positive")
+        base = self.epoch_mean(t0)
+        atten = np.sqrt(1.0 + dur / self.profile.fast_tau)
+        fast = rng.normal(0.0, 1.0, size=t0.shape) * (self.profile.fast_std / atten)
+        p_burst = 1.0 - np.exp(-self.profile.burst_rate * dur)
+        hit = rng.random(size=t0.shape) < p_burst
+        dilution = np.minimum(1.0, self.profile.burst_duration / dur)
+        bursts = hit * rng.exponential(self.profile.burst_scale, size=t0.shape) * dilution
+        return np.maximum(base + fast + bursts, _MIN_LEVEL)
+
+    # -- trajectory sampling (co-located games) ---------------------------
+
+    def sample_trajectory(
+        self,
+        start_time: float,
+        duration: float,
+        n_segments: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Piecewise-constant level trajectory over ``n_segments`` segments.
+
+        The fast component follows an AR(1) discretisation of an OU process
+        around the slow mean; bursts arrive per segment and decay over the
+        following segments.
+        """
+        if n_segments <= 0:
+            raise CloudError(f"n_segments must be positive, got {n_segments}")
+        if duration <= 0:
+            raise CloudError(f"duration must be positive, got {duration}")
+        dt = duration / n_segments
+        mids = start_time + (np.arange(n_segments) + 0.5) * dt
+        base = self.epoch_mean(mids)
+
+        rho = math.exp(-dt / self.profile.fast_tau)
+        innovation_std = self.profile.fast_std * math.sqrt(max(1.0 - rho * rho, 1e-12))
+        shocks = rng.normal(0.0, innovation_std, size=n_segments)
+        fast = np.empty(n_segments)
+        state = rng.normal(0.0, self.profile.fast_std)
+        for k in range(n_segments):
+            state = rho * state + shocks[k]
+            fast[k] = state
+
+        arrivals = rng.random(n_segments) < (self.profile.burst_rate * dt)
+        magnitudes = rng.exponential(self.profile.burst_scale, size=n_segments) * arrivals
+        decay = math.exp(-dt / self.profile.burst_duration)
+        bursts = np.empty(n_segments)
+        carry = 0.0
+        for k in range(n_segments):
+            carry = carry * decay + magnitudes[k]
+            bursts[k] = carry
+
+        return np.maximum(base + fast + bursts, _MIN_LEVEL)

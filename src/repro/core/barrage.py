@@ -1,0 +1,116 @@
+"""Phases III & IV: barrage playoffs and the final (Sec. 3.5).
+
+Playoffs and the final are played between two players at a time with *no*
+early termination — near-winner configurations are too close for truncated
+games to separate reliably.  In the barrage format with four players:
+
+* game 1: the two players with the highest average execution score; the
+  winner goes straight to the final;
+* game 2: the remaining two players; the loser is eliminated;
+* game 3: the loser of game 1 against the winner of game 2; the winner
+  becomes the second finalist.
+
+The final is a single two-player game; whoever finishes first wins the
+tournament.  The ablation "w/o barrage" replaces the repechage (game 3)
+with a plain knockout, denying game 1's loser its second chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.game import GameReport, play_game
+from repro.core.records import RecordBook
+from repro.errors import TournamentError
+
+
+@dataclass(frozen=True)
+class PlayoffResult:
+    """The two finalists and how many games the playoffs took."""
+
+    finalists: Tuple[int, int]
+    games: int
+
+
+@dataclass(frozen=True)
+class FinalResult:
+    """The tournament's winner, runner-up, and the final game's report."""
+
+    winner: int
+    runner_up: int
+    report: GameReport
+
+
+class BarragePlayoffs:
+    """Runs the playoffs (and final) among the global-phase qualifiers."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        app: ApplicationModel,
+        config: DarwinGameConfig,
+        records: RecordBook,
+    ) -> None:
+        self.env = env
+        self.app = app
+        self.config = config
+        self.records = records
+
+    def _duel(self, a: int, b: int, label: str) -> GameReport:
+        """A two-player game, played to completion (no early termination)."""
+        return play_game(
+            self.env, self.app, [a, b], self.config, self.records,
+            allow_early_termination=False, label=label, advance_clock=True,
+        )
+
+    def run(self, players: Sequence[int]) -> PlayoffResult:
+        """Determine the two finalists among up to four playoff players."""
+        pool = list(dict.fromkeys(int(p) for p in players))
+        if len(pool) < 2:
+            raise TournamentError(
+                f"playoffs need at least two distinct players, got {pool}"
+            )
+        # Seed by average execution score, highest first (Sec. 3.5).
+        order = self.records.combined_rank_order(
+            pool, use_execution=True, use_consistency=False
+        )
+        seeded: List[int] = [pool[int(p)] for p in order]
+
+        if len(seeded) == 2:
+            return PlayoffResult(finalists=(seeded[0], seeded[1]), games=0)
+
+        if len(seeded) == 3:
+            game1 = self._duel(seeded[0], seeded[1], "playoffs")
+            finalist1 = game1.winner_index
+            loser1 = seeded[1] if finalist1 == seeded[0] else seeded[0]
+            if self.config.barrage_playoffs:
+                game2 = self._duel(loser1, seeded[2], "playoffs")
+                return PlayoffResult((finalist1, game2.winner_index), games=2)
+            return PlayoffResult((finalist1, seeded[2]), games=1)
+
+        top, bottom = seeded[:2], seeded[2:4]
+        game1 = self._duel(top[0], top[1], "playoffs")
+        finalist1 = game1.winner_index
+        loser1 = top[1] if finalist1 == top[0] else top[0]
+        game2 = self._duel(bottom[0], bottom[1], "playoffs")
+        winner2 = game2.winner_index
+        if self.config.barrage_playoffs:
+            # Barrage repechage: loser of game 1 gets a second chance.
+            game3 = self._duel(loser1, winner2, "playoffs")
+            return PlayoffResult((finalist1, game3.winner_index), games=3)
+        # Plain knockout ablation: winners of games 1 and 2 meet in the final.
+        return PlayoffResult((finalist1, winner2), games=2)
+
+    def final(self, finalists: Tuple[int, int]) -> FinalResult:
+        """Play the final; the faster configuration wins the tournament."""
+        a, b = finalists
+        if a == b:
+            raise TournamentError("the final needs two distinct players")
+        report = self._duel(a, b, "final")
+        winner = report.winner_index
+        runner_up = b if winner == a else a
+        return FinalResult(winner=winner, runner_up=runner_up, report=report)

@@ -1,0 +1,190 @@
+"""Phase II: the global phase, played in double elimination style (Sec. 3.4).
+
+Regional winners enter the main bracket.  Each round groups players (groups
+are mixed across source regions for diversity), plays one game per group,
+and judges players by the *sum* of their execution-score rank and their
+consistency-score rank — the joint criterion that selects configurations
+that are both fast and stable under noise (Fig. 7).  Group winners stay in
+the main bracket; everyone else moves to the loser bracket instead of being
+eliminated.  Rounds continue until the main bracket holds the target number
+of players (three in the paper).  Finally, the best loser-bracket players
+play one game whose winner receives a wild-card entry into the playoffs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.game import play_game
+from repro.core.records import RecordBook
+from repro.errors import TournamentError
+
+
+@dataclass(frozen=True)
+class GlobalResult:
+    """Outcome of the global phase."""
+
+    main_bracket: Tuple[int, ...]
+    wildcard: int  # -1 when double elimination (and thus the wild card) is off
+    rounds: int
+    games: int
+    loser_bracket_size: int
+
+    @property
+    def playoff_players(self) -> Tuple[int, ...]:
+        players = list(self.main_bracket)
+        if self.wildcard >= 0 and self.wildcard not in players:
+            players.append(self.wildcard)
+        return tuple(players)
+
+
+class DoubleEliminationGlobalPhase:
+    """Runs the global phase over the regional winners."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        app: ApplicationModel,
+        config: DarwinGameConfig,
+        records: RecordBook,
+    ) -> None:
+        self.env = env
+        self.app = app
+        self.config = config
+        self.records = records
+
+    # -- group formation ---------------------------------------------------
+
+    def _players_per_game(self) -> int:
+        cfg = self.config
+        if cfg.two_player_games_only:
+            return 2
+        configured = cfg.players_per_game or min(32, self.env.vm.vcpus)
+        return max(2, min(configured, self.env.vm.vcpus))
+
+    def _form_groups(
+        self, players: Sequence[int], n_games: int, rng: np.random.Generator
+    ) -> List[List[int]]:
+        """Deal players into groups, spreading source regions across groups.
+
+        Sorting by region id and dealing round-robin guarantees that two
+        players from the same region land in the same group only when there
+        are more of them than groups — the paper's diversity requirement.
+        """
+        ordered = sorted(players, key=lambda p: (self.records.get(p).region_id, p))
+        # Random rotation so the deal is not biased by region numbering.
+        offset = int(rng.integers(0, len(ordered))) if len(ordered) > 1 else 0
+        ordered = ordered[offset:] + ordered[:offset]
+        groups: List[List[int]] = [[] for _ in range(n_games)]
+        for pos, player in enumerate(ordered):
+            groups[pos % n_games].append(player)
+        return [g for g in groups if g]
+
+    def _judge_game(self, lineup: List[int], game_scores: Sequence[float]) -> int:
+        """Winner = lowest sum of execution-score rank and consistency rank.
+
+        Ranks within the game use the *current game's* execution scores and
+        the accumulated consistency scores, per Fig. 7; the ablation flags
+        drop one of the two criteria.
+        """
+        from repro.analysis.stats import rank_with_ties
+
+        cfg = self.config
+        total = np.zeros(len(lineup), dtype=float)
+        if cfg.use_execution_score:
+            total += rank_with_ties(np.asarray(game_scores), descending=True)
+        if cfg.use_consistency_score:
+            total += rank_with_ties(
+                self.records.consistency_scores(lineup), descending=True
+            )
+        best = int(np.argmin(total))
+        # Deterministic tie-break on the game's execution score.
+        ties = np.nonzero(total == total[best])[0]
+        if ties.size > 1:
+            best = int(ties[np.argmax(np.asarray(game_scores)[ties])])
+        return best
+
+    # -- the phase ---------------------------------------------------------
+
+    def run(self, entrants: Sequence[int], rng: np.random.Generator) -> GlobalResult:
+        """Play the global phase and return the playoff qualifiers."""
+        main = list(dict.fromkeys(int(p) for p in entrants))
+        if not main:
+            raise TournamentError("global phase needs at least one entrant")
+        cfg = self.config
+        target = cfg.main_bracket_target
+        per_game = self._players_per_game()
+        losers: List[int] = []
+        rounds = 0
+        games = 0
+
+        while len(main) > target:
+            # Aim for at least `target` winners per round (so the bracket
+            # shrinks gradually) while never exceeding the per-game player
+            # cap; single-player groups are byes.
+            n_games = max(
+                math.ceil(len(main) / per_game), min(target, len(main) // 2), 1
+            )
+            groups = self._form_groups(main, n_games, rng)
+            round_winners: List[int] = []
+            round_elapsed = 0.0
+            for group in groups:
+                if len(group) == 1:
+                    round_winners.extend(group)  # bye
+                    continue
+                report = play_game(
+                    self.env, self.app, group, cfg, self.records,
+                    label="global", advance_clock=False,
+                )
+                games += 1
+                round_elapsed = max(round_elapsed, report.elapsed)
+                winner_pos = self._judge_game(group, report.execution_scores)
+                round_winners.append(group[winner_pos])
+                for pos, player in enumerate(group):
+                    if pos != winner_pos:
+                        losers.append(player)
+            self.env.advance(round_elapsed)  # groups play on parallel VMs
+            rounds += 1
+            if len(round_winners) >= len(main):
+                break  # no reduction possible (all byes)
+            main = round_winners
+
+        wildcard = -1
+        if cfg.double_elimination and losers:
+            wildcard = self._loser_bracket_game(losers, per_game)
+            games += 1 if len(losers) > 1 else 0
+        elif not cfg.double_elimination:
+            losers = []  # losers were eliminated outright
+
+        return GlobalResult(
+            main_bracket=tuple(main),
+            wildcard=wildcard,
+            rounds=rounds,
+            games=games,
+            loser_bracket_size=len(set(losers)),
+        )
+
+    def _loser_bracket_game(self, losers: List[int], per_game: int) -> int:
+        """One game among the best loser-bracket players; winner = wild card."""
+        unique = list(dict.fromkeys(losers))
+        if len(unique) == 1:
+            return unique[0]
+        order = self.records.combined_rank_order(
+            unique,
+            use_execution=self.config.use_execution_score,
+            use_consistency=self.config.use_consistency_score,
+        )
+        lineup = [unique[int(p)] for p in order[:per_game]]
+        report = play_game(
+            self.env, self.app, lineup, self.config, self.records,
+            label="global", advance_clock=True,
+        )
+        winner_pos = self._judge_game(lineup, report.execution_scores)
+        return lineup[winner_pos]

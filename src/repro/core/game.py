@@ -1,0 +1,93 @@
+"""Playing one game of the tournament.
+
+A game co-locates several configurations on one VM (Sec. 3.2), reads back
+the physics-level :class:`~repro.types.GameOutcome`, converts work fractions
+into execution scores (work done relative to the fastest player, Fig. 5),
+and books the result into the :class:`~repro.core.records.RecordBook`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.records import RecordBook
+from repro.errors import TournamentError
+from repro.types import GameOutcome
+
+
+@dataclass(frozen=True)
+class GameReport:
+    """One played game: who took part, their scores, and the raw outcome."""
+
+    indices: Tuple[int, ...]
+    execution_scores: Tuple[float, ...]
+    winner_position: int
+    outcome: GameOutcome
+
+    @property
+    def winner_index(self) -> int:
+        return self.indices[self.winner_position]
+
+    @property
+    def elapsed(self) -> float:
+        return self.outcome.elapsed
+
+
+def execution_scores_from_work(work: Sequence[float]) -> np.ndarray:
+    """Execution score: work done relative to the fastest player (Fig. 5)."""
+    arr = np.asarray(work, dtype=float)
+    if arr.size == 0:
+        raise TournamentError("cannot score an empty game")
+    best = float(arr.max())
+    if best <= 0:
+        raise TournamentError("no player made progress in the game")
+    return arr / best
+
+
+def play_game(
+    env: CloudEnvironment,
+    app: ApplicationModel,
+    indices: Sequence[int],
+    config: DarwinGameConfig,
+    records: RecordBook,
+    *,
+    allow_early_termination: bool = True,
+    label: str = "game",
+    advance_clock: bool = False,
+) -> GameReport:
+    """Run one co-located game and book its scores.
+
+    ``allow_early_termination`` is overridden to False for playoffs and the
+    final, which the paper always plays to completion.  With
+    ``advance_clock=False`` (default) the caller advances simulated time once
+    per round, because games within a round run on parallel VMs.
+    """
+    players = [int(i) for i in indices]
+    if len(players) < 1:
+        raise TournamentError("a game needs at least one player")
+    if len(set(players)) != len(players):
+        raise TournamentError(f"duplicate players in game: {players}")
+
+    early = allow_early_termination and config.early_termination
+    outcome = env.run_colocated(
+        app,
+        players,
+        work_deviation=config.work_deviation if early else None,
+        min_work_for_termination=config.min_work_for_termination,
+        label=label,
+        advance_clock=advance_clock,
+    )
+    scores = execution_scores_from_work(outcome.work)
+    winner_pos = records.record_game(players, scores)
+    return GameReport(
+        indices=tuple(players),
+        execution_scores=tuple(float(s) for s in scores),
+        winner_position=winner_pos,
+        outcome=outcome,
+    )

@@ -1,0 +1,135 @@
+"""Per-player score bookkeeping across the whole tournament.
+
+Two scores drive DarwinGame's decisions (Figs. 5 and 7):
+
+* **execution score** — within one game, the fraction of work a player
+  completed relative to the fastest player of that game;
+* **consistency score** — the average of ``1 / rank`` over *all* games the
+  player has played so far, where rank is the player's execution-score rank
+  within each game.  High consistency means the configuration performs well
+  repeatedly, under different noise and different opponents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import rank_with_ties
+from repro.errors import TournamentError
+
+
+@dataclass
+class PlayerRecord:
+    """Everything the tournament remembers about one configuration."""
+
+    index: int
+    region_id: int = -1
+    execution_scores: List[float] = field(default_factory=list)
+    inverse_ranks: List[float] = field(default_factory=list)
+    wins: int = 0
+
+    @property
+    def games_played(self) -> int:
+        return len(self.execution_scores)
+
+    @property
+    def mean_execution_score(self) -> float:
+        """Average execution score; 0.0 before the first game."""
+        if not self.execution_scores:
+            return 0.0
+        return float(np.mean(self.execution_scores))
+
+    @property
+    def consistency_score(self) -> float:
+        """Mean of 1/rank over all games (Fig. 7); 0.0 before the first game."""
+        if not self.inverse_ranks:
+            return 0.0
+        return float(np.mean(self.inverse_ranks))
+
+
+class RecordBook:
+    """Registry of :class:`PlayerRecord` keyed by configuration index."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, PlayerRecord] = {}
+        self._total_evaluations = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, index: int) -> bool:
+        return int(index) in self._records
+
+    def get(self, index: int) -> PlayerRecord:
+        """Fetch (creating if needed) the record of a configuration."""
+        key = int(index)
+        record = self._records.get(key)
+        if record is None:
+            record = PlayerRecord(index=key)
+            self._records[key] = record
+        return record
+
+    def assign_region(self, index: int, region_id: int) -> None:
+        self.get(index).region_id = region_id
+
+    def record_game(
+        self, indices: Sequence[int], execution_scores: Sequence[float]
+    ) -> int:
+        """Book one game's scores and ranks; returns the winner's position.
+
+        The winner of a *game* (before consistency enters the picture) is the
+        player with the highest execution score.
+        """
+        if len(indices) != len(execution_scores):
+            raise TournamentError("indices and execution_scores length mismatch")
+        if len(indices) == 0:
+            raise TournamentError("cannot record an empty game")
+        scores = np.asarray(execution_scores, dtype=float)
+        ranks = rank_with_ties(scores, descending=True)
+        winner_pos = int(np.argmax(scores))
+        for pos, index in enumerate(indices):
+            record = self.get(int(index))
+            record.execution_scores.append(float(scores[pos]))
+            record.inverse_ranks.append(1.0 / float(ranks[pos]))
+        self.get(int(indices[winner_pos])).wins += 1
+        self._total_evaluations += len(indices)
+        return winner_pos
+
+    @property
+    def total_evaluations(self) -> int:
+        """Application executions paid for (a k-player game counts k)."""
+        return self._total_evaluations
+
+    def mean_execution_scores(self, indices: Sequence[int]) -> np.ndarray:
+        return np.array([self.get(int(i)).mean_execution_score for i in indices])
+
+    def consistency_scores(self, indices: Sequence[int]) -> np.ndarray:
+        return np.array([self.get(int(i)).consistency_score for i in indices])
+
+    def combined_rank_order(
+        self,
+        indices: Sequence[int],
+        *,
+        use_execution: bool = True,
+        use_consistency: bool = True,
+    ) -> np.ndarray:
+        """Order positions by summed execution- and consistency-score ranks.
+
+        The paper ranks global-phase players by the *summation* of their
+        execution-score ranking and consistency-score ranking; the lowest sum
+        wins (Sec. 3.4).  Returns positions into ``indices``, best first.
+        """
+        if not use_execution and not use_consistency:
+            raise TournamentError("at least one score must be used for ranking")
+        total = np.zeros(len(indices), dtype=float)
+        if use_execution:
+            total += rank_with_ties(self.mean_execution_scores(indices), descending=True)
+        if use_consistency:
+            total += rank_with_ties(self.consistency_scores(indices), descending=True)
+        # Tie-break deterministically on execution score, then index.
+        exec_scores = self.mean_execution_scores(indices)
+        keys = list(zip(total, -exec_scores, [int(i) for i in indices]))
+        return np.array(sorted(range(len(indices)), key=lambda p: keys[p]), dtype=np.int64)

@@ -1,0 +1,244 @@
+"""Phase I: the regional phase, played in Swiss style (Sec. 3.3, Fig. 6).
+
+Within each region, rounds of multi-player games are played.  Round one picks
+players at random; every later round fills half its seats with players that
+have never played (new players) and half with previously scored players,
+selected probabilistically — a higher execution score means a higher chance
+of being re-selected, so the most promising configurations keep contending
+with each other (the Swiss property).
+
+A region terminates when one player has won consecutively "more than one
+time" (the champion), when the pool of new players is exhausted, or when the
+round cap is hit.  Everyone whose mean execution score is within the work
+deviation ``d`` of the champion's advances — so regions with several strong
+candidates send several winners to the global phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.game import play_game
+from repro.core.records import RecordBook
+from repro.errors import TournamentError
+from repro.space.regions import Region
+
+
+@dataclass(frozen=True)
+class RegionalResult:
+    """Outcome of one region's Swiss tournament."""
+
+    region_id: int
+    winners: tuple
+    champion: int
+    rounds: int
+    games: int
+    elapsed: float  # simulated seconds this region's (sequential) rounds took
+
+    def __post_init__(self) -> None:
+        if self.champion not in self.winners:
+            raise TournamentError("champion must be among the region winners")
+
+
+# Exponent sharpening score-proportional selection: strong players meet often.
+_SELECTION_SHARPNESS = 4.0
+
+
+class SwissRegionalPhase:
+    """Runs the Swiss-style tournament inside one region at a time."""
+
+    def __init__(
+        self,
+        env: CloudEnvironment,
+        app: ApplicationModel,
+        config: DarwinGameConfig,
+        records: RecordBook,
+    ) -> None:
+        self.env = env
+        self.app = app
+        self.config = config
+        self.records = records
+
+    # -- player selection ------------------------------------------------
+
+    def _select_veterans(
+        self, played: List[int], champion: int, n: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Pick ``n`` previously scored players, champion always included."""
+        if n <= 0:
+            return []
+        chosen: List[int] = [champion] if champion in played else []
+        pool = [p for p in played if p not in chosen]
+        want = n - len(chosen)
+        if want > 0 and pool:
+            scores = self.records.mean_execution_scores(pool)
+            weights = np.power(np.maximum(scores, 1e-6), _SELECTION_SHARPNESS)
+            weights = weights / weights.sum()
+            take = min(want, len(pool))
+            picks = rng.choice(len(pool), size=take, replace=False, p=weights)
+            chosen.extend(pool[int(p)] for p in picks)
+        return chosen[:n]
+
+    # -- the phase ---------------------------------------------------------
+
+    def run_region(self, region: Region, rng: np.random.Generator) -> RegionalResult:
+        """Play the Swiss tournament of one region to termination."""
+        cfg = self.config
+        players_per_game = self._players_per_game(region)
+
+        if region.size == 1:
+            # Degenerate single-point region: the lone config advances unplayed.
+            lone = region.start
+            self.records.assign_region(lone, region.region_id)
+            return RegionalResult(
+                region_id=region.region_id, winners=(lone,), champion=lone,
+                rounds=0, games=0, elapsed=0.0,
+            )
+
+        if not cfg.swiss_style:
+            return self._single_game_region(region, players_per_game, rng)
+
+        fresh = list(region.sample(region.size, rng, replace=False)) \
+            if region.size <= 4 * players_per_game else None
+        # Large regions draw new players lazily instead of materialising all.
+        drawn: set = set()
+
+        def draw_new(n: int) -> List[int]:
+            if fresh is not None:
+                out = fresh[:n]
+                del fresh[:n]
+                return [int(i) for i in out]
+            out = []
+            attempts = 0
+            while len(out) < n and attempts < 20:
+                batch = region.sample(max(2 * n, 8), rng)
+                for i in batch:
+                    iv = int(i)
+                    if iv not in drawn:
+                        drawn.add(iv)
+                        out.append(iv)
+                        if len(out) == n:
+                            break
+                attempts += 1
+            return out
+
+        max_rounds = cfg.max_regional_rounds
+        if max_rounds is None:
+            newcomers = max(1, players_per_game // 2)
+            max_rounds = min(64, math.ceil(region.size / newcomers) + 2)
+
+        played: List[int] = []
+        champion = -1
+        streak = 0
+        games = 0
+        elapsed = 0.0
+
+        for round_no in range(max_rounds):
+            if round_no == 0:
+                lineup = draw_new(players_per_game)
+            else:
+                n_new = players_per_game // 2
+                newcomers = draw_new(n_new)
+                veterans = self._select_veterans(
+                    played, champion, players_per_game - len(newcomers), rng
+                )
+                lineup = veterans + newcomers
+            lineup = list(dict.fromkeys(lineup))
+            if len(lineup) < 2:
+                break
+            for idx in lineup:
+                self.records.assign_region(idx, region.region_id)
+
+            report = play_game(
+                self.env, self.app, lineup, cfg, self.records,
+                label="regional", advance_clock=False,
+            )
+            games += 1
+            elapsed += report.elapsed
+            for idx in lineup:
+                if idx not in played:
+                    played.append(idx)
+
+            if report.winner_index == champion:
+                streak += 1
+            else:
+                champion = report.winner_index
+                streak = 1
+            if streak >= cfg.regional_win_streak:
+                break
+            if fresh is not None and not fresh:
+                break
+
+        if champion < 0:
+            raise TournamentError(
+                f"region {region.region_id} terminated without playing a game"
+            )
+        winners = self._winner_band(played, champion)
+        return RegionalResult(
+            region_id=region.region_id,
+            winners=tuple(winners),
+            champion=champion,
+            rounds=games if not cfg.swiss_style else min(max_rounds, games),
+            games=games,
+            elapsed=elapsed,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _players_per_game(self, region: Region) -> int:
+        cfg = self.config
+        if cfg.two_player_games_only:
+            return 2
+        configured = cfg.players_per_game or min(32, self.env.vm.vcpus)
+        return max(2, min(configured, self.env.vm.vcpus, region.size))
+
+    def _single_game_region(
+        self, region: Region, players_per_game: int, rng: np.random.Generator
+    ) -> RegionalResult:
+        """Ablation "w/o Swiss": one game among randomly chosen players."""
+        lineup = [int(i) for i in region.sample(
+            min(players_per_game, region.size), rng, replace=False
+        )]
+        if len(lineup) == 1:
+            # Degenerate single-point region: the lone config advances unplayed.
+            self.records.assign_region(lineup[0], region.region_id)
+            return RegionalResult(
+                region_id=region.region_id, winners=(lineup[0],),
+                champion=lineup[0], rounds=0, games=0, elapsed=0.0,
+            )
+        for idx in lineup:
+            self.records.assign_region(idx, region.region_id)
+        report = play_game(
+            self.env, self.app, lineup, self.config, self.records,
+            label="regional", advance_clock=False,
+        )
+        winners = self._winner_band(lineup, report.winner_index)
+        return RegionalResult(
+            region_id=region.region_id,
+            winners=tuple(winners),
+            champion=report.winner_index,
+            rounds=1,
+            games=1,
+            elapsed=report.elapsed,
+        )
+
+    def _winner_band(self, played: List[int], champion: int) -> List[int]:
+        """All players within deviation ``d`` of the champion's mean score."""
+        if self.config.one_winner_per_region:
+            return [champion]
+        champ_score = self.records.get(champion).mean_execution_score
+        threshold = (1.0 - self.config.work_deviation) * champ_score
+        band = [
+            p for p in played
+            if self.records.get(p).mean_execution_score >= threshold
+        ]
+        if champion not in band:
+            band.insert(0, champion)
+        return band

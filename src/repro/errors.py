@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` from bad call signatures, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpaceError(ReproError):
+    """A search-space definition or index operation is invalid."""
+
+
+class IndexOutOfSpaceError(SpaceError):
+    """A configuration index falls outside ``[0, space.size)``."""
+
+    def __init__(self, index: int, size: int) -> None:
+        super().__init__(f"index {index} outside search space of size {size}")
+        self.index = index
+        self.size = size
+
+
+class CloudError(ReproError):
+    """The cloud simulator was asked to do something impossible."""
+
+
+class TournamentError(ReproError):
+    """The tournament was configured or driven inconsistently."""
+
+
+class TunerError(ReproError):
+    """A tuner was configured or driven inconsistently."""
+
+
+class CalibrationError(ReproError):
+    """An application model failed to meet its calibration targets."""

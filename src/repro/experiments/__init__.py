@@ -1,0 +1,115 @@
+"""Experiment runners: one per figure/table of the paper's evaluation."""
+
+from repro.experiments.ablations import AblationResult, run_ablations
+from repro.experiments.colocation_study import (
+    ColocationStudyResult,
+    run_colocation_study,
+)
+from repro.experiments.format_power import (
+    FORMAT_NAMES,
+    FormatPowerResult,
+    FormatPowerRow,
+    run_format_power,
+)
+from repro.experiments.headline import (
+    HeadlineResult,
+    HeadlineRow,
+    StabilityResult,
+    run_headline,
+    run_stability,
+)
+from repro.experiments.instability import InstabilityResult, run_fig3
+from repro.experiments.integration import IntegrationResult, run_integration
+from repro.experiments.motivation import (
+    Fig1Left,
+    Fig1Right,
+    Fig2Scatter,
+    run_fig1_left,
+    run_fig1_right,
+    run_fig2,
+)
+from repro.experiments.persistence import (
+    load_campaign,
+    load_evaluation,
+    load_trace,
+    load_tuning_result,
+    save_campaign,
+    save_evaluation,
+    save_trace,
+    save_tuning_result,
+)
+from repro.experiments.protocol import (
+    STRATEGY_NAMES,
+    StrategyRun,
+    repeat_strategy,
+    run_strategy,
+)
+from repro.experiments.reporting import paper_vs_measured, render_table
+from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.shift_study import (
+    ShiftRow,
+    ShiftStudyResult,
+    run_shift_study,
+)
+from repro.experiments.statistical import (
+    STATISTICAL_STRATEGIES,
+    StatisticalResult,
+    StatisticalRow,
+    run_statistical_comparison,
+)
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.vm_sweep import FIG15_VMS, VMSweepResult, run_vm_sweep
+
+__all__ = [
+    "AblationResult",
+    "ColocationStudyResult",
+    "FIG15_VMS",
+    "FORMAT_NAMES",
+    "FormatPowerResult",
+    "FormatPowerRow",
+    "Fig1Left",
+    "Fig1Right",
+    "Fig2Scatter",
+    "HeadlineResult",
+    "HeadlineRow",
+    "InstabilityResult",
+    "IntegrationResult",
+    "STATISTICAL_STRATEGIES",
+    "STRATEGY_NAMES",
+    "SensitivityResult",
+    "ShiftRow",
+    "ShiftStudyResult",
+    "StabilityResult",
+    "StatisticalResult",
+    "StatisticalRow",
+    "StrategyRun",
+    "Table1Row",
+    "VMSweepResult",
+    "load_campaign",
+    "load_evaluation",
+    "load_trace",
+    "load_tuning_result",
+    "paper_vs_measured",
+    "render_table",
+    "repeat_strategy",
+    "run_ablations",
+    "save_campaign",
+    "save_evaluation",
+    "save_trace",
+    "save_tuning_result",
+    "run_colocation_study",
+    "run_fig1_left",
+    "run_format_power",
+    "run_fig1_right",
+    "run_fig2",
+    "run_fig3",
+    "run_headline",
+    "run_integration",
+    "run_sensitivity",
+    "run_shift_study",
+    "run_stability",
+    "run_statistical_comparison",
+    "run_strategy",
+    "run_table1",
+    "run_vm_sweep",
+]

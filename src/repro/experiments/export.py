@@ -1,0 +1,148 @@
+"""CSV export of figure data (for plotting outside this repository).
+
+Every experiment result dataclass can be flattened to rows; this module
+writes them as CSV so the paper's figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.experiments.ablations import AblationResult
+from repro.experiments.headline import HeadlineResult
+from repro.experiments.integration import IntegrationResult
+from repro.experiments.motivation import Fig1Left, Fig2Scatter
+from repro.experiments.vm_sweep import VMSweepResult
+
+PathLike = Union[str, Path]
+
+
+def _write(path: PathLike, headers: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return out
+
+
+def export_fig1_left(result: Fig1Left, path: PathLike) -> Path:
+    """CDF of observed execution times (Fig. 1 left)."""
+    return _write(
+        path,
+        ["execution_time_s", "cumulative_percent"],
+        zip(result.times.tolist(), result.cdf_percent.tolist()),
+    )
+
+
+def export_fig2(result: Fig2Scatter, path: PathLike) -> Path:
+    """CoV-vs-mean scatter points (Fig. 2)."""
+    return _write(
+        path,
+        ["index", "mean_time_s", "cov_percent", "robust"],
+        ((p.index, p.mean_time, p.cov_percent, int(p.robust)) for p in result.points),
+    )
+
+
+def export_headline(result: HeadlineResult, path: PathLike) -> Path:
+    """Figs. 10/11/12 grid."""
+    return _write(
+        path,
+        [
+            "app", "strategy", "mean_time_s", "time_low_s", "time_high_s",
+            "cov_percent", "core_hours", "core_hours_pct_of_exhaustive",
+            "distinct_picks", "modal_pick_fraction", "repeats",
+        ],
+        (
+            (
+                r.app_name, r.strategy, r.mean_time, r.time_low, r.time_high,
+                r.cov_percent, r.core_hours, r.core_hours_pct_of_exhaustive,
+                r.distinct_picks, r.modal_pick_fraction, r.repeats,
+            )
+            for r in result.rows
+        ),
+    )
+
+
+def export_integration(result: IntegrationResult, path: PathLike) -> Path:
+    """Figs. 13/14 grid."""
+    return _write(
+        path,
+        ["app", "tuner", "mean_time_s", "cov_percent", "core_hours",
+         "core_hours_pct_of_exhaustive"],
+        (
+            (r.app_name, r.tuner, r.mean_time, r.cov_percent, r.core_hours,
+             r.core_hours_pct_of_exhaustive)
+            for r in result.rows
+        ),
+    )
+
+
+def export_vm_sweep(result: VMSweepResult, path: PathLike) -> Path:
+    """Fig. 15 series."""
+    return _write(
+        path,
+        ["vm", "vcpus", "oracle_s", "darwingame_s", "gap_percent", "cov_percent"],
+        (
+            (r.vm_name, r.vcpus, r.oracle_time, r.darwin_time, r.gap_percent,
+             r.cov_percent)
+            for r in result.rows
+        ),
+    )
+
+
+def export_ablations(result: AblationResult, path: PathLike) -> Path:
+    """Fig. 16 grid."""
+    return _write(
+        path,
+        ["app", "ablation", "time_increase_pct", "cov_increase_pct",
+         "core_hours_increase_pct"],
+        (
+            (r.app_name, r.ablation, r.time_increase_percent,
+             r.cov_increase_percent, r.core_hours_increase_percent)
+            for r in result.rows
+        ),
+    )
+
+
+def export_statistical(result, path: PathLike) -> Path:
+    """Sec. 3.2 statistical-baselines grid (StatisticalResult)."""
+    return _write(
+        path,
+        ["app", "strategy", "mean_time_s", "gap_vs_optimal_pct", "cov_percent",
+         "core_hours", "repeats"],
+        (
+            (r.app_name, r.strategy, r.mean_time, r.gap_vs_optimal_percent,
+             r.cov_percent, r.core_hours, r.repeats)
+            for r in result.rows
+        ),
+    )
+
+
+def export_shift_study(result, path: PathLike) -> Path:
+    """Sec. 5 interference-shift degradation curves (ShiftStudyResult)."""
+    return _write(
+        path,
+        ["strategy", "level_shift", "mean_time_s", "degradation_pct"],
+        (
+            (r.strategy, r.shift, r.mean_time, r.degradation_percent)
+            for r in result.rows
+        ),
+    )
+
+
+def export_format_power(result, path: PathLike) -> Path:
+    """Sec. 3.5 format predictive-power grid (FormatPowerResult)."""
+    return _write(
+        path,
+        ["format", "noise_std", "predictive_power", "top2_power", "mean_games",
+         "trials"],
+        (
+            (r.format_name, r.noise_std, r.predictive_power, r.top2_power,
+             r.mean_games, r.trials)
+            for r in result.rows
+        ),
+    )

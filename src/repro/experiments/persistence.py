@@ -1,0 +1,164 @@
+"""JSON persistence of tuning campaigns and their artefacts.
+
+Tuning in the cloud is long-running and billed by the hour; users archive
+outcomes and compare campaigns across days.  This module round-trips the
+library's result records through plain JSON — no pickle, so the files are
+stable across library versions, auditable, and loadable by external tools:
+
+* :class:`~repro.types.TuningResult` — a tuner's outcome,
+* :class:`~repro.types.ChoiceEvaluation` — the 100-run quality measurement,
+* :class:`~repro.cloud.traces.InterferenceTrace` — a recorded noise
+  timeline,
+* a *campaign*: one tuning result plus its evaluation and metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cloud.traces import InterferenceTrace
+from repro.errors import ReproError
+from repro.types import ChoiceEvaluation, TuningResult
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays to plain Python."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _dump(payload: dict, path: PathLike) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as handle:
+        json.dump(_jsonable(payload), handle, indent=2)
+    return out
+
+
+def _load(path: PathLike, expected_kind: str) -> dict:
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    kind = payload.get("kind")
+    if kind != expected_kind:
+        raise ReproError(
+            f"{path} holds a {kind!r} record, expected {expected_kind!r}"
+        )
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path} uses format version {payload.get('version')}, "
+            f"this library reads version {_FORMAT_VERSION}"
+        )
+    return payload
+
+
+# -- TuningResult -----------------------------------------------------------
+
+def save_tuning_result(result: TuningResult, path: PathLike) -> Path:
+    """Write a tuning result as JSON; returns the path written."""
+    payload = {
+        "kind": "tuning_result",
+        "version": _FORMAT_VERSION,
+        "data": asdict(result),
+    }
+    return _dump(payload, path)
+
+
+def load_tuning_result(path: PathLike) -> TuningResult:
+    """Read a tuning result written by :func:`save_tuning_result`."""
+    data = _load(path, "tuning_result")["data"]
+    data["best_values"] = tuple(data["best_values"])
+    return TuningResult(**data)
+
+
+# -- ChoiceEvaluation ---------------------------------------------------------
+
+def save_evaluation(evaluation: ChoiceEvaluation, path: PathLike) -> Path:
+    """Write a choice evaluation as JSON."""
+    payload = {
+        "kind": "choice_evaluation",
+        "version": _FORMAT_VERSION,
+        "data": asdict(evaluation),
+    }
+    return _dump(payload, path)
+
+
+def load_evaluation(path: PathLike) -> ChoiceEvaluation:
+    """Read a choice evaluation written by :func:`save_evaluation`."""
+    return ChoiceEvaluation(**_load(path, "choice_evaluation")["data"])
+
+
+# -- InterferenceTrace --------------------------------------------------------
+
+def save_trace(trace: InterferenceTrace, path: PathLike) -> Path:
+    """Write an interference trace as JSON."""
+    payload = {
+        "kind": "interference_trace",
+        "version": _FORMAT_VERSION,
+        "data": {"levels": trace.levels.tolist(), "dt": trace.dt},
+    }
+    return _dump(payload, path)
+
+
+def load_trace(path: PathLike) -> InterferenceTrace:
+    """Read a trace written by :func:`save_trace`."""
+    data = _load(path, "interference_trace")["data"]
+    return InterferenceTrace(
+        levels=np.asarray(data["levels"], dtype=float), dt=float(data["dt"])
+    )
+
+
+# -- whole campaigns ----------------------------------------------------------
+
+def save_campaign(
+    result: TuningResult,
+    evaluation: Optional[ChoiceEvaluation],
+    path: PathLike,
+    *,
+    app_name: str = "",
+    vm_name: str = "",
+    notes: str = "",
+) -> Path:
+    """Archive one tuning campaign: result + evaluation + metadata."""
+    payload = {
+        "kind": "campaign",
+        "version": _FORMAT_VERSION,
+        "meta": {"app": app_name, "vm": vm_name, "notes": notes},
+        "result": asdict(result),
+        "evaluation": asdict(evaluation) if evaluation is not None else None,
+    }
+    return _dump(payload, path)
+
+
+def load_campaign(path: PathLike) -> tuple:
+    """Read a campaign archive; returns ``(result, evaluation, meta)``.
+
+    ``evaluation`` is ``None`` when the campaign was saved without one.
+    """
+    payload = _load(path, "campaign")
+    result_data = payload["result"]
+    result_data["best_values"] = tuple(result_data["best_values"])
+    result = TuningResult(**result_data)
+    evaluation = (
+        ChoiceEvaluation(**payload["evaluation"])
+        if payload["evaluation"] is not None
+        else None
+    )
+    return result, evaluation, payload["meta"]

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the rows/series the paper's figure or table reports,
+in a fixed-width layout, so "regenerating Fig. N" means running the bench
+and reading the same comparison off the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str = "") -> str:
+    """Render a fixed-width text table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def paper_vs_measured(
+    claim: str, paper_value: str, measured_value: str, holds: bool
+) -> str:
+    """One line of the EXPERIMENTS.md-style paper-vs-measured record."""
+    mark = "OK " if holds else "DIFF"
+    return f"[{mark}] {claim}: paper={paper_value} measured={measured_value}"

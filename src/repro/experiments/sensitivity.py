@@ -1,0 +1,72 @@
+"""Sec. 3.2/3.3 hyper-parameter robustness claims.
+
+* Varying the work-done deviation ``d`` between 5% and 15% changes
+  DarwinGame's execution-time outcome by less than 2.7%.
+* Varying the region count ``n_r`` between 0.5x and 1.5x the default changes
+  the outcome by less than 3.7%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.registry import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.vm import DEFAULT_VM, VMSpec
+from repro.core.config import DarwinGameConfig, auto_regions
+from repro.core.tournament import DarwinGame
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    parameter: str
+    value: float
+    mean_time: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    app_name: str
+    points: List[SweepPoint]
+
+    def max_spread_percent(self, parameter: str) -> float:
+        """Largest relative outcome difference across the swept values."""
+        times = [p.mean_time for p in self.points if p.parameter == parameter]
+        if not times:
+            raise KeyError(parameter)
+        return 100.0 * (max(times) - min(times)) / min(times)
+
+
+def _outcome(app, vm: VMSpec, config: DarwinGameConfig, seed: int) -> float:
+    env = CloudEnvironment(vm, seed=seed)
+    result = DarwinGame(dataclasses.replace(config, seed=seed)).tune(app, env)
+    return env.measure_choice(app, result.best_index).mean_time
+
+
+def run_sensitivity(
+    app_name: str = "redis",
+    *,
+    scale: str = "bench",
+    vm: VMSpec = DEFAULT_VM,
+    seed: int = 0,
+    deviations: Tuple[float, ...] = (0.05, 0.10, 0.15),
+    region_factors: Tuple[float, ...] = (0.5, 1.0, 1.5),
+) -> SensitivityResult:
+    """Sweep ``d`` and ``n_r`` around their defaults."""
+    app = make_application(app_name, scale=scale)
+    points: List[SweepPoint] = []
+    for d in deviations:
+        config = DarwinGameConfig(work_deviation=d)
+        points.append(
+            SweepPoint("work_deviation", d, _outcome(app, vm, config, seed))
+        )
+    default_regions = auto_regions(app.space.size)
+    for factor in region_factors:
+        n_regions: Optional[int] = max(4, int(default_regions * factor))
+        config = DarwinGameConfig(n_regions=n_regions)
+        points.append(
+            SweepPoint("n_regions", float(n_regions), _outcome(app, vm, config, seed))
+        )
+    return SensitivityResult(app_name=app_name, points=points)

@@ -1,0 +1,53 @@
+"""Table 1: tunable parameters and search-space sizes per application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apps.registry import APPLICATION_NAMES, make_application
+
+#: The sizes Table 1 reports (paper rounds to 0.1 million).
+PAPER_SIZES = {
+    "redis": 7.8e6,
+    "gromacs": 3.8e6,
+    "ffmpeg": 6.1e6,
+    "lammps": 4.4e6,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    app_name: str
+    app_parameters: Tuple[str, ...]
+    system_parameters: Tuple[str, ...]
+    space_size: int
+    paper_size: float
+
+    @property
+    def size_ratio(self) -> float:
+        """Measured / paper size (1.0 = exact match)."""
+        return self.space_size / self.paper_size
+
+
+def run_table1() -> List[Table1Row]:
+    """Build every application at full scale and report its Table 1 row."""
+    rows: List[Table1Row] = []
+    for name in APPLICATION_NAMES:
+        app = make_application(name, scale="full")
+        app_params = tuple(
+            p.name for p in app.space.parameters if p.kind == "app"
+        )
+        sys_params = tuple(
+            p.name for p in app.space.parameters if p.kind == "system"
+        )
+        rows.append(
+            Table1Row(
+                app_name=name,
+                app_parameters=app_params,
+                system_parameters=sys_params,
+                space_size=app.space.size,
+                paper_size=PAPER_SIZES[name],
+            )
+        )
+    return rows

@@ -1,0 +1,82 @@
+"""Fig. 15: DarwinGame's effectiveness across VM classes and sizes.
+
+Redis is tuned and executed on every evaluated instance type; DarwinGame's
+chosen configuration should stay within ~10% of the Oracle (dedicated-
+environment optimum) everywhere, with a CoV below ~0.5%, even though smaller
+VMs suffer much heavier interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apps.registry import make_application
+from repro.cloud.vm import PRESETS, VMSpec
+from repro.experiments.protocol import run_strategy
+
+#: The paper's Fig. 15 x-axis, in order.
+FIG15_VMS: Tuple[str, ...] = (
+    "m5.large",
+    "m5.2xlarge",
+    "m5.8xlarge",
+    "m5.16xlarge",
+    "m5.24xlarge",
+    "c5.9xlarge",
+    "r5.8xlarge",
+    "i3.8xlarge",
+)
+
+
+@dataclass(frozen=True)
+class VMSweepRow:
+    vm_name: str
+    vcpus: int
+    oracle_time: float
+    darwin_time: float
+    gap_percent: float
+    cov_percent: float
+    core_hours: float
+
+
+@dataclass(frozen=True)
+class VMSweepResult:
+    app_name: str
+    rows: List[VMSweepRow]
+
+    @property
+    def worst_gap_percent(self) -> float:
+        return max(r.gap_percent for r in self.rows)
+
+    @property
+    def worst_cov_percent(self) -> float:
+        return max(r.cov_percent for r in self.rows)
+
+
+def run_vm_sweep(
+    app_name: str = "redis",
+    *,
+    scale: str = "bench",
+    seed: int = 0,
+    vm_names: Tuple[str, ...] = FIG15_VMS,
+) -> VMSweepResult:
+    """Tune with DarwinGame on each VM type; compare to the Oracle."""
+    app = make_application(app_name, scale=scale)
+    oracle = app.optimal.true_time
+    rows: List[VMSweepRow] = []
+    for vm_name in vm_names:
+        vm: VMSpec = PRESETS[vm_name]
+        run = run_strategy(app, "DarwinGame", vm=vm, seed=seed)
+        gap = 100.0 * (run.mean_time - oracle) / oracle
+        rows.append(
+            VMSweepRow(
+                vm_name=vm_name,
+                vcpus=vm.vcpus,
+                oracle_time=oracle,
+                darwin_time=run.mean_time,
+                gap_percent=gap,
+                cov_percent=run.cov_percent,
+                core_hours=run.core_hours,
+            )
+        )
+    return VMSweepResult(app_name=app_name, rows=rows)

@@ -1,0 +1,36 @@
+"""Generic tournament formats over abstract players.
+
+DarwinGame's phases (Sec. 3) are built from three classic playing styles —
+Swiss, double elimination, and barrage — and the paper grounds its choices
+in the tournament-design literature (its refs. [26, 35, 44, 58, 64]).  This
+package provides those formats as *reusable schedulers* over abstract player
+ids with a pluggable match oracle, so that
+
+* the format mechanics can be unit- and property-tested in isolation from
+  the cloud simulator, and
+* the predictive power of each format under noise can be studied directly
+  (:mod:`repro.experiments.format_power`), reproducing the style of analysis
+  the paper cites when motivating its phase structure.
+
+The tournament core in :mod:`repro.core` keeps its own phase implementations
+(they are entangled with scores, early termination and core-hour accounting);
+this package is the clean-room counterpart used for studies and validation.
+"""
+
+from repro.formats.match import MatchOracle, NoisyStrengthOracle, RecordedMatch
+from repro.formats.round_robin import RoundRobin
+from repro.formats.single_elimination import SingleElimination
+from repro.formats.swiss import SwissSystem
+from repro.formats.double_elimination import DoubleElimination
+from repro.formats.barrage import Barrage
+
+__all__ = [
+    "Barrage",
+    "DoubleElimination",
+    "MatchOracle",
+    "NoisyStrengthOracle",
+    "RecordedMatch",
+    "RoundRobin",
+    "SingleElimination",
+    "SwissSystem",
+]

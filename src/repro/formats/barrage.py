@@ -1,0 +1,120 @@
+"""Barrage: the penultimate-round format of petanque tournaments (Sec. 3.5).
+
+With four qualifiers seeded 1-4 by prior score:
+
+* game 1 — seed 1 vs seed 2; the winner goes straight to the final;
+* game 2 — seed 3 vs seed 4; the loser is eliminated;
+* game 3 (the barrage) — loser of game 1 vs winner of game 2; the winner
+  becomes the second finalist.
+
+The loser of the top game gets one brief chance to recover, so "only the
+strongest ... progress to the final round".  Generalises to ``2k`` players
+by pairing the top half among themselves and the bottom half among
+themselves, then playing top-half losers against bottom-half winners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.formats.match import MatchOracle
+
+
+@dataclass(frozen=True)
+class BarrageResult:
+    """The two finalists of a barrage stage and the games it took."""
+
+    finalists: Tuple[int, ...]
+    eliminated: Tuple[int, ...]
+    games: int
+
+
+class Barrage:
+    """Seeded barrage stage producing exactly two finalists.
+
+    ``players`` must be ordered by seeding (best first) and have even
+    length >= 2.  For two players, both are finalists and no game is played
+    (the final itself decides).
+    """
+
+    def run(self, players: Sequence[int], oracle: MatchOracle) -> BarrageResult:
+        seeds = [int(p) for p in players]
+        if len(seeds) < 2:
+            raise ReproError("barrage needs at least two players")
+        if len(seeds) % 2 != 0:
+            raise ReproError(f"barrage needs an even field, got {len(seeds)}")
+        if len(set(seeds)) != len(seeds):
+            raise ReproError(f"duplicate players: {seeds}")
+        if len(seeds) == 2:
+            return BarrageResult(finalists=tuple(seeds), eliminated=(), games=0)
+
+        half = len(seeds) // 2
+        top, bottom = seeds[:half], seeds[half:]
+
+        # Top half: winners go straight to the final pool; losers get the
+        # barrage chance.
+        direct: List[int] = []
+        top_losers: List[int] = []
+        games = 0
+        for k in range(0, len(top) - len(top) % 2, 2):
+            match = oracle.play([top[k], top[k + 1]])
+            direct.append(match.winner)
+            top_losers.append(match.loser)
+            games += 1
+        if len(top) % 2 == 1:
+            top_losers.append(top[-1])
+
+        # Bottom half: losers are out; winners earn the barrage games.
+        bottom_winners: List[int] = []
+        eliminated: List[int] = []
+        for k in range(0, len(bottom) - len(bottom) % 2, 2):
+            match = oracle.play([bottom[k], bottom[k + 1]])
+            bottom_winners.append(match.winner)
+            eliminated.append(match.loser)
+            games += 1
+        if len(bottom) % 2 == 1:
+            bottom_winners.append(bottom[-1])
+
+        # The barrage proper: top-half losers vs bottom-half winners.
+        barrage_survivors: List[int] = []
+        for a, b in zip(top_losers, bottom_winners):
+            match = oracle.play([a, b])
+            barrage_survivors.append(match.winner)
+            eliminated.append(match.loser)
+            games += 1
+
+        # Reduce the survivor pool to exactly one second finalist.
+        pool = barrage_survivors
+        while len(pool) > 1:
+            nxt: List[int] = []
+            if len(pool) % 2 == 1:
+                nxt.append(pool[-1])
+            for k in range(0, len(pool) - len(pool) % 2, 2):
+                match = oracle.play([pool[k], pool[k + 1]])
+                nxt.append(match.winner)
+                eliminated.append(match.loser)
+                games += 1
+            pool = nxt
+        second = pool[0]
+
+        # Same for the direct qualifiers if the field was larger than four.
+        pool = direct
+        while len(pool) > 1:
+            nxt = []
+            if len(pool) % 2 == 1:
+                nxt.append(pool[-1])
+            for k in range(0, len(pool) - len(pool) % 2, 2):
+                match = oracle.play([pool[k], pool[k + 1]])
+                nxt.append(match.winner)
+                eliminated.append(match.loser)
+                games += 1
+            pool = nxt
+        first = pool[0]
+
+        return BarrageResult(
+            finalists=(first, second),
+            eliminated=tuple(eliminated),
+            games=games,
+        )

@@ -1,0 +1,110 @@
+"""Double elimination: a loss sends you to the loser bracket, not home.
+
+Players must lose twice to be eliminated: the first loss moves them from
+the main (winners) bracket to the loser bracket, where they keep playing;
+the loser-bracket survivor meets the main-bracket winner in the grand
+final.  This is the format of DarwinGame's global phase (Sec. 3.4) — a
+promising configuration is not knocked out by "one bad day".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.formats.match import MatchOracle
+
+
+@dataclass(frozen=True)
+class DoubleEliminationResult:
+    """Winner plus the bracket history of a double-elimination run."""
+
+    winner: int
+    runner_up: int
+    games: int
+    main_rounds: Tuple[Tuple[int, ...], ...]    # main-bracket entrants per round
+    loser_rounds: Tuple[Tuple[int, ...], ...]   # loser-bracket entrants per round
+    grand_final_needed_reset: bool
+
+
+class DoubleElimination:
+    """Standard two-bracket knockout with a (resettable) grand final.
+
+    In the grand final the main-bracket champion has never lost; if the
+    loser-bracket champion beats them, both have one loss and a deciding
+    rematch ("bracket reset") settles it — the textbook rule, kept so that
+    nobody is eliminated with fewer than two losses.
+    """
+
+    def run(
+        self, players: Sequence[int], oracle: MatchOracle
+    ) -> DoubleEliminationResult:
+        main = [int(p) for p in players]
+        if len(main) < 2:
+            raise ReproError("double elimination needs at least two players")
+        if len(set(main)) != len(main):
+            raise ReproError(f"duplicate players: {main}")
+
+        losers: List[int] = []
+        main_rounds: List[Tuple[int, ...]] = []
+        loser_rounds: List[Tuple[int, ...]] = []
+        games = 0
+
+        while len(main) > 1 or len(losers) > 1:
+            if len(main) > 1:
+                main_rounds.append(tuple(main))
+                main, dropped = self._play_round(main, oracle)
+                games += len(dropped)
+                losers.extend(dropped)
+            if len(losers) > 1:
+                loser_rounds.append(tuple(losers))
+                losers, eliminated = self._play_round(losers, oracle)
+                games += len(eliminated)
+
+        main_champion = main[0]
+        if not losers:
+            # Degenerate two-player field: the single loss decides it.
+            return DoubleEliminationResult(
+                winner=main_champion,
+                runner_up=oracle.history[-1].loser if oracle.history else -1,
+                games=games,
+                main_rounds=tuple(main_rounds),
+                loser_rounds=tuple(loser_rounds),
+                grand_final_needed_reset=False,
+            )
+
+        loser_champion = losers[0]
+        final = oracle.play([main_champion, loser_champion])
+        games += 1
+        reset = False
+        if final.winner == loser_champion:
+            # Main champion's first loss: the bracket resets to a rematch.
+            reset = True
+            final = oracle.play([main_champion, loser_champion])
+            games += 1
+        winner = final.winner
+        runner_up = loser_champion if winner == main_champion else main_champion
+        return DoubleEliminationResult(
+            winner=winner,
+            runner_up=runner_up,
+            games=games,
+            main_rounds=tuple(main_rounds),
+            loser_rounds=tuple(loser_rounds),
+            grand_final_needed_reset=reset,
+        )
+
+    @staticmethod
+    def _play_round(
+        bracket: List[int], oracle: MatchOracle
+    ) -> Tuple[List[int], List[int]]:
+        """Pair off a bracket; returns (survivors, losers); odd player byes."""
+        survivors: List[int] = []
+        dropped: List[int] = []
+        if len(bracket) % 2 == 1:
+            survivors.append(bracket[-1])
+        for k in range(0, len(bracket) - len(bracket) % 2, 2):
+            match = oracle.play([bracket[k], bracket[k + 1]])
+            survivors.append(match.winner)
+            dropped.append(match.loser)
+        return survivors, dropped

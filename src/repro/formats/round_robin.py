@@ -1,0 +1,74 @@
+"""Round-robin: every player meets every other player.
+
+The most expensive and (for enough repetitions) most accurate format; the
+tournament-design literature uses it as the accuracy ceiling against which
+cheaper formats are measured.  ``O(n^2)`` games for ``n`` players.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.formats.match import MatchOracle
+
+
+@dataclass(frozen=True)
+class RoundRobinResult:
+    """Standings after a full round-robin."""
+
+    standings: Tuple[int, ...]  # player ids, best first
+    wins: Dict[int, int]
+    games: int
+
+    @property
+    def winner(self) -> int:
+        return self.standings[0]
+
+
+class RoundRobin:
+    """All-pairs schedule, standings by win count.
+
+    Ties in win count break deterministically by head-to-head result where
+    one exists, else by player id (stable and reproducible).
+    """
+
+    def __init__(self, rounds: int = 1) -> None:
+        if rounds < 1:
+            raise ReproError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+
+    def run(self, players: Sequence[int], oracle: MatchOracle) -> RoundRobinResult:
+        ids = [int(p) for p in players]
+        if len(ids) < 2:
+            raise ReproError("round-robin needs at least two players")
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"duplicate players: {ids}")
+
+        wins = {p: 0 for p in ids}
+        head_to_head: Dict[Tuple[int, int], int] = {}
+        games = 0
+        for _ in range(self.rounds):
+            for i, a in enumerate(ids):
+                for b in ids[i + 1:]:
+                    match = oracle.play([a, b])
+                    wins[match.winner] += 1
+                    head_to_head[(a, b)] = match.winner
+                    games += 1
+
+        def sort_key(p: int):
+            return (-wins[p], p)
+
+        standings: List[int] = sorted(ids, key=sort_key)
+        # Adjacent single-round ties defer to head-to-head where available.
+        if self.rounds == 1:
+            for k in range(len(standings) - 1):
+                a, b = standings[k], standings[k + 1]
+                if wins[a] == wins[b]:
+                    h2h = head_to_head.get((a, b), head_to_head.get((b, a)))
+                    if h2h == b:
+                        standings[k], standings[k + 1] = b, a
+        return RoundRobinResult(
+            standings=tuple(standings), wins=wins, games=games
+        )

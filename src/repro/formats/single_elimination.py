@@ -1,0 +1,57 @@
+"""Single elimination: lose once and you are out.
+
+The cheapest knockout format (``n - 1`` games for ``n`` players) and the
+most fragile under noise — one unlucky game eliminates the strongest player.
+Included as the baseline that motivates double elimination (Sec. 3.4's
+"one bad day" argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.formats.match import MatchOracle, RecordedMatch
+
+
+@dataclass(frozen=True)
+class SingleEliminationResult:
+    """Winner and per-round survivors of a knockout bracket."""
+
+    winner: int
+    rounds: Tuple[Tuple[int, ...], ...]  # survivors entering each round
+    games: int
+    byes: int
+
+
+class SingleElimination:
+    """Pair off survivors each round; odd player out gets a bye."""
+
+    def run(
+        self, players: Sequence[int], oracle: MatchOracle
+    ) -> SingleEliminationResult:
+        alive = [int(p) for p in players]
+        if len(alive) < 1:
+            raise ReproError("single elimination needs at least one player")
+        if len(set(alive)) != len(alive):
+            raise ReproError(f"duplicate players: {alive}")
+
+        rounds: List[Tuple[int, ...]] = []
+        games = 0
+        byes = 0
+        while len(alive) > 1:
+            rounds.append(tuple(alive))
+            survivors: List[int] = []
+            if len(alive) % 2 == 1:
+                survivors.append(alive[-1])  # bye for the odd one out
+                byes += 1
+            for k in range(0, len(alive) - len(alive) % 2, 2):
+                match: RecordedMatch = oracle.play([alive[k], alive[k + 1]])
+                survivors.append(match.winner)
+                games += 1
+            alive = survivors
+        rounds.append(tuple(alive))
+        return SingleEliminationResult(
+            winner=alive[0], rounds=tuple(rounds), games=games, byes=byes
+        )

@@ -1,0 +1,104 @@
+"""Swiss system: rounds of score-group pairings, no eliminations.
+
+Every round pairs players with (near-)equal running scores against each
+other; nobody is eliminated, and the standings after ``r ~ log2(n)`` rounds
+identify the strongest players with far fewer games than a round-robin.
+This is the format of DarwinGame's regional phase (Sec. 3.3): "the most
+promising players directly compete with each other".
+
+Pairing rule (standard Swiss with a simple rematch-avoidance pass): sort by
+score, walk down the list pairing each unpaired player with the highest
+unpaired opponent they have not met; if everyone remaining has been met,
+allow the rematch rather than leave players idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.formats.match import MatchOracle
+
+
+@dataclass(frozen=True)
+class SwissResult:
+    """Standings after all Swiss rounds (best first)."""
+
+    standings: Tuple[int, ...]
+    scores: Dict[int, float]
+    games: int
+    rounds: int
+
+    @property
+    def winner(self) -> int:
+        return self.standings[0]
+
+
+class SwissSystem:
+    """Score-group pairing for a fixed number of rounds.
+
+    Args:
+        rounds: number of Swiss rounds; ``None`` uses ``ceil(log2(n))``,
+            the conventional minimum for a unique leader.
+    """
+
+    def __init__(self, rounds=None) -> None:
+        if rounds is not None and rounds < 1:
+            raise ReproError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+
+    def run(self, players: Sequence[int], oracle: MatchOracle) -> SwissResult:
+        ids = [int(p) for p in players]
+        if len(ids) < 2:
+            raise ReproError("a Swiss tournament needs at least two players")
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"duplicate players: {ids}")
+
+        n_rounds = self.rounds
+        if n_rounds is None:
+            n_rounds = max(1, (len(ids) - 1).bit_length())
+
+        scores: Dict[int, float] = {p: 0.0 for p in ids}
+        met: Set[Tuple[int, int]] = set()
+        games = 0
+        for _ in range(n_rounds):
+            pairs, bye = self._pair(ids, scores, met)
+            if bye is not None:
+                scores[bye] += 1.0  # a bye scores like a win
+            for a, b in pairs:
+                match = oracle.play([a, b])
+                scores[match.winner] += 1.0
+                met.add((min(a, b), max(a, b)))
+                games += 1
+
+        standings = sorted(ids, key=lambda p: (-scores[p], p))
+        return SwissResult(
+            standings=tuple(standings),
+            scores=scores,
+            games=games,
+            rounds=n_rounds,
+        )
+
+    @staticmethod
+    def _pair(
+        ids: List[int],
+        scores: Dict[int, float],
+        met: Set[Tuple[int, int]],
+    ) -> Tuple[List[Tuple[int, int]], int]:
+        """Pair by score groups with rematch avoidance; returns (pairs, bye)."""
+        order = sorted(ids, key=lambda p: (-scores[p], p))
+        unpaired = list(order)
+        pairs: List[Tuple[int, int]] = []
+        while len(unpaired) >= 2:
+            a = unpaired.pop(0)
+            pick = None
+            for k, b in enumerate(unpaired):
+                if (min(a, b), max(a, b)) not in met:
+                    pick = k
+                    break
+            if pick is None:
+                pick = 0  # every remaining opponent already met: allow rematch
+            pairs.append((a, unpaired.pop(pick)))
+        bye = unpaired[0] if unpaired else None
+        return pairs, bye

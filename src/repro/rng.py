@@ -1,0 +1,38 @@
+"""Seed and random-number-generator plumbing.
+
+All stochastic components of the library take either an integer seed or a
+:class:`numpy.random.Generator`.  Components that own sub-components derive
+child generators with :func:`spawn` so that every figure in the paper
+reproduction is bit-for-bit reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a freshly seeded generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def child(rng: np.random.Generator) -> np.random.Generator:
+    """Derive a single child generator from ``rng``."""
+    return spawn(rng, 1)[0]

@@ -1,0 +1,40 @@
+"""Search-space substrate: parameters, index codec, regions, subspaces."""
+
+from repro.space.constraints import (
+    Constraint,
+    requires,
+    sample_valid,
+    valid_fraction,
+    valid_mask,
+)
+from repro.space.parameters import (
+    Parameter,
+    boolean,
+    categorical,
+    integer_range,
+    value_grid,
+)
+from repro.space.regions import Region, partition_regions, region_of
+from repro.space.space import SearchSpace, log_size
+from repro.space.subspaces import Subspace, split_subspaces, subspace_of
+
+__all__ = [
+    "Constraint",
+    "Parameter",
+    "Region",
+    "SearchSpace",
+    "Subspace",
+    "boolean",
+    "categorical",
+    "integer_range",
+    "log_size",
+    "partition_regions",
+    "requires",
+    "sample_valid",
+    "region_of",
+    "split_subspaces",
+    "subspace_of",
+    "valid_fraction",
+    "valid_mask",
+    "value_grid",
+]

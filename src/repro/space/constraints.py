@@ -1,0 +1,124 @@
+"""Configuration-validity constraints over a search space.
+
+Real tuning spaces carry dependencies the cross-product ignores: Redis's
+``appendfsync`` policy only matters when ``appendonly`` is on; a
+vectorisation-cost flag is meaningless without vectorisation.  This module
+adds constraint support without touching the index codec:
+
+* a :class:`Constraint` is a named, vectorised predicate over level
+  matrices;
+* :func:`valid_mask` evaluates a set of constraints over configuration
+  indices;
+* :func:`sample_valid` draws uniformly from the valid subset by rejection;
+* :func:`repro.apps.constrained.penalised_application` (in the apps layer)
+  derives an application whose invalid configurations run at a penalty
+  time above the surface's worst — the standard "death penalty"
+  encoding, which every tuner then avoids organically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.errors import SpaceError
+from repro.rng import SeedLike, ensure_rng
+from repro.space.space import SearchSpace
+
+#: A vectorised predicate: (n, dimension) level matrix -> (n,) bool mask.
+LevelPredicate = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One named validity rule over parameter levels."""
+
+    name: str
+    predicate: LevelPredicate
+
+    def holds(self, space: SearchSpace, indices) -> np.ndarray:
+        """Evaluate the rule on configuration indices (vectorised)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        mask = np.asarray(self.predicate(space.levels_matrix(idx)), dtype=bool)
+        if mask.shape != idx.shape:
+            raise SpaceError(
+                f"constraint {self.name!r} returned shape {mask.shape} "
+                f"for {idx.shape} indices"
+            )
+        return mask
+
+
+def requires(
+    space: SearchSpace, if_param: str, if_level: int, then_param: str,
+    then_levels: Sequence[int],
+) -> Constraint:
+    """Convenience rule: when ``if_param`` is at ``if_level``, ``then_param``
+    must be at one of ``then_levels`` (other ``if_param`` levels are free)."""
+    if_dim = space.parameters.index(space.parameter(if_param))
+    then_dim = space.parameters.index(space.parameter(then_param))
+    allowed = np.zeros(space.parameter(then_param).cardinality, dtype=bool)
+    for level in then_levels:
+        allowed[level] = True
+
+    def predicate(levels: np.ndarray) -> np.ndarray:
+        triggered = levels[:, if_dim] == if_level
+        return ~triggered | allowed[levels[:, then_dim]]
+
+    return Constraint(
+        name=f"{if_param}={if_level} -> {then_param} in {list(then_levels)}",
+        predicate=predicate,
+    )
+
+
+def valid_mask(
+    space: SearchSpace, constraints: Sequence[Constraint], indices
+) -> np.ndarray:
+    """True where every constraint holds."""
+    idx = np.asarray(indices, dtype=np.int64)
+    mask = np.ones(idx.shape, dtype=bool)
+    for constraint in constraints:
+        mask &= constraint.holds(space, idx)
+    return mask
+
+
+def valid_fraction(
+    space: SearchSpace,
+    constraints: Sequence[Constraint],
+    *,
+    n: int = 4000,
+    seed: SeedLike = 0,
+) -> float:
+    """Estimated fraction of the space satisfying all constraints."""
+    indices = space.sample_indices(min(n, space.size), ensure_rng(seed))
+    return float(valid_mask(space, constraints, indices).mean())
+
+
+def sample_valid(
+    space: SearchSpace,
+    constraints: Sequence[Constraint],
+    n: int,
+    seed: SeedLike = None,
+    *,
+    max_attempts: int = 200,
+) -> np.ndarray:
+    """Draw ``n`` valid configuration indices by rejection sampling.
+
+    Raises if the valid region is too sparse to hit within
+    ``max_attempts`` batches (guard against contradictory constraints).
+    """
+    if n < 0:
+        raise SpaceError(f"cannot sample {n} indices")
+    rng = ensure_rng(seed)
+    out: List[int] = []
+    for _ in range(max_attempts):
+        batch = space.sample_indices(max(2 * n, 64), rng)
+        good = batch[valid_mask(space, constraints, batch)]
+        out.extend(int(i) for i in good)
+        if len(out) >= n:
+            return np.asarray(out[:n], dtype=np.int64)
+    raise SpaceError(
+        f"could not draw {n} valid configurations in {max_attempts} batches; "
+        "are the constraints satisfiable?"
+    )

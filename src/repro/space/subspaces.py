@@ -1,0 +1,80 @@
+"""Subspace views for integrating DarwinGame with existing tuners (Sec. 3.6).
+
+The integration divides the full search space into subspaces; the *outer*
+tuner treats each subspace as a single tuning configuration, while DarwinGame
+plays a full tournament inside every subspace the outer tuner visits.  A
+:class:`Subspace` is a contiguous index block that behaves like a miniature
+search space: DarwinGame partitions it into regions and runs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import SpaceError
+from repro.rng import SeedLike, ensure_rng
+from repro.space.space import SearchSpace
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """A contiguous block ``[start, stop)`` of the full space's index range."""
+
+    subspace_id: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise SpaceError(
+                f"subspace {self.subspace_id} is empty: [{self.start}, {self.stop})"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+    def sample(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        rng = ensure_rng(seed)
+        return rng.integers(self.start, self.stop, size=n, dtype=np.int64)
+
+
+def split_subspaces(space: SearchSpace, n_subspaces: int) -> List[Subspace]:
+    """Split ``space`` into ``n_subspaces`` near-equal contiguous blocks.
+
+    Because the index codec puts the leading parameters in the high-order
+    digits, contiguous blocks correspond to fixing (ranges of) the leading
+    parameters — the "subspace" notion of Fig. 9.
+    """
+    if n_subspaces <= 0:
+        raise SpaceError(f"n_subspaces must be positive, got {n_subspaces}")
+    n_subspaces = min(n_subspaces, space.size)
+    base, extra = divmod(space.size, n_subspaces)
+    out: List[Subspace] = []
+    start = 0
+    for sid in range(n_subspaces):
+        size = base + (1 if sid < extra else 0)
+        out.append(Subspace(sid, start, start + size))
+        start += size
+    return out
+
+
+def subspace_of(subspaces: List[Subspace], index: int) -> Subspace:
+    """Return the subspace containing ``index`` (subspaces must be sorted)."""
+    lo, hi = 0, len(subspaces) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        sub = subspaces[mid]
+        if index < sub.start:
+            hi = mid - 1
+        elif index >= sub.stop:
+            lo = mid + 1
+        else:
+            return sub
+    raise SpaceError(f"index {index} not covered by the given subspaces")

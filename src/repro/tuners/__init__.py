@@ -1,0 +1,29 @@
+"""Baseline tuners and the DarwinGame integration layer."""
+
+from repro.tuners.active_harmony import ActiveHarmonyLike
+from repro.tuners.annealing import SimulatedAnnealingTuner
+from repro.tuners.base import ObservationLog, Tuner, fraction_budget
+from repro.tuners.bliss import BlissLike
+from repro.tuners.exhaustive import ExhaustiveSearch
+from repro.tuners.genetic import GeneticTuner
+from repro.tuners.integration import HybridTuner
+from repro.tuners.opentuner_like import OpenTunerLike
+from repro.tuners.quantile_regression import QuantileRegressionTuner
+from repro.tuners.random_search import RandomSearch
+from repro.tuners.thompson import ThompsonSamplingTuner
+
+__all__ = [
+    "ActiveHarmonyLike",
+    "BlissLike",
+    "ExhaustiveSearch",
+    "GeneticTuner",
+    "HybridTuner",
+    "ObservationLog",
+    "OpenTunerLike",
+    "QuantileRegressionTuner",
+    "RandomSearch",
+    "SimulatedAnnealingTuner",
+    "ThompsonSamplingTuner",
+    "Tuner",
+    "fraction_budget",
+]

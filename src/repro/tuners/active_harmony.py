@@ -1,0 +1,139 @@
+"""ActiveHarmony-style tuner (Tapus et al., SC'02; Hollingsworth & Tiwari).
+
+ActiveHarmony's core search engine is Parallel Rank Ordering — a
+simplex-based direct search (a parallel Nelder–Mead relative) over the
+discrete parameter lattice.  Each step reflects/expands/shrinks the simplex
+of candidate configurations through the centroid of the better vertices,
+driven purely by the measured (noisy) execution times.  Restarts from random
+points avoid getting wedged in a corner of the lattice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.tuners.base import ObservationLog, Tuner
+
+
+class ActiveHarmonyLike(Tuner):
+    """Parallel-rank-ordering simplex search on the level lattice."""
+
+    name = "ActiveHarmony"
+    budget_fraction = 0.05
+
+    #: simplex is dimension + 1 vertices, standard for Nelder–Mead family
+    _REFLECT = 1.0
+    _EXPAND = 1.6
+    _SHRINK = 0.5
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        log = ObservationLog()
+        spent = 0
+        restarts = 0
+        while spent < budget:
+            spent = self._one_simplex_run(app, env, budget, spent, log, rng)
+            restarts += 1
+        details = {
+            "restarts": restarts,
+            "best_observed_time": log.best_time,
+            "observed_indices": list(log.indices),
+            "observed_times": list(log.times),
+        }
+        return log.best_index, spent, details
+
+    # -- one simplex descent ------------------------------------------------
+
+    def _evaluate(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        levels: np.ndarray,
+        log: ObservationLog,
+    ) -> float:
+        index = int(app.space.indices_of_levels_matrix(levels[None, :])[0])
+        outcome = env.run_solo(app, index, label="activeharmony")
+        log.add(index, outcome.observed_time)
+        return outcome.observed_time
+
+    def _one_simplex_run(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        spent: int,
+        log: ObservationLog,
+        rng: np.random.Generator,
+    ) -> int:
+        dim = app.space.dimension
+        cards = app.space.cardinalities
+        n_vertices = dim + 1
+
+        simplex: List[np.ndarray] = [
+            app.space.levels_matrix(app.space.sample_indices(1, rng))[0]
+            for _ in range(n_vertices)
+        ]
+        values: List[float] = []
+        for vertex in simplex:
+            if spent >= budget:
+                return spent
+            values.append(self._evaluate(app, env, vertex, log))
+            spent += 1
+
+        stale = 0
+        while spent < budget and stale < 3 * dim:
+            order = np.argsort(values)
+            simplex = [simplex[i] for i in order]
+            values = [values[i] for i in order]
+            worst = simplex[-1]
+            centroid = np.mean(np.stack(simplex[:-1]), axis=0)
+
+            reflected = self._clip(
+                centroid + self._REFLECT * (centroid - worst), cards
+            )
+            f_reflect = self._evaluate(app, env, reflected, log)
+            spent += 1
+            if f_reflect < values[0] and spent < budget:
+                expanded = self._clip(
+                    centroid + self._EXPAND * (centroid - worst), cards
+                )
+                f_expand = self._evaluate(app, env, expanded, log)
+                spent += 1
+                if f_expand < f_reflect:
+                    simplex[-1], values[-1] = expanded, f_expand
+                else:
+                    simplex[-1], values[-1] = reflected, f_reflect
+                stale = 0
+            elif f_reflect < values[-2]:
+                simplex[-1], values[-1] = reflected, f_reflect
+                stale = 0
+            else:
+                # Shrink every vertex toward the best one.
+                progressed = False
+                for i in range(1, n_vertices):
+                    if spent >= budget:
+                        return spent
+                    shrunk = self._clip(
+                        simplex[0] + self._SHRINK * (simplex[i] - simplex[0]), cards
+                    )
+                    if np.array_equal(shrunk, simplex[i]):
+                        continue
+                    f_shrunk = self._evaluate(app, env, shrunk, log)
+                    spent += 1
+                    simplex[i], values[i] = shrunk, f_shrunk
+                    progressed = True
+                stale = 0 if progressed else stale + 1
+        return spent
+
+    @staticmethod
+    def _clip(levels: np.ndarray, cards: np.ndarray) -> np.ndarray:
+        return np.clip(np.round(levels).astype(np.int64), 0, cards - 1)

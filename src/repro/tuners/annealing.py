@@ -1,0 +1,113 @@
+"""Simulated-annealing tuner (a heuristic baseline from the related work).
+
+Standard single-chain annealing over the parameter lattice: propose a
+neighbour (one parameter nudged a level), accept improvements always and
+regressions with probability ``exp(-delta / T)``, cool geometrically.  The
+acceptance test runs on *observed* (noisy) times, so a quiet-time
+measurement of a fragile neighbour reads as a large improvement and gets
+locked in — the same failure mode as every interference-unaware baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.rng import child
+from repro.tuners.base import ObservationLog, Tuner
+
+_COOLING = 0.995
+_RESTART_PATIENCE = 60   # proposals without improvement before a restart
+
+
+class SimulatedAnnealingTuner(Tuner):
+    """Single-chain annealing with geometric cooling and random restarts.
+
+    Args:
+        initial_temperature: starting temperature as a *fraction* of the
+            first observed time (scale-free across applications).
+        cooling: geometric cooling factor per proposal.
+        seed: tuner seed.
+    """
+
+    name = "SimulatedAnnealing"
+    budget_fraction = 0.03
+
+    def __init__(
+        self,
+        initial_temperature: float = 0.3,
+        cooling: float = _COOLING,
+        seed=0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if initial_temperature <= 0:
+            raise TunerError(
+                f"initial_temperature must be > 0, got {initial_temperature}"
+            )
+        if not 0.0 < cooling < 1.0:
+            raise TunerError(f"cooling must be in (0, 1), got {cooling}")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        space = app.space
+        log = ObservationLog()
+        move_rng = child(rng)
+
+        current = int(space.sample_indices(1, child(rng))[0])
+        current_time = env.run_solo(app, current, label="annealing").observed_time
+        log.add(current, current_time)
+        spent = 1
+        temperature = self.initial_temperature * current_time
+        stale = 0
+        restarts = 0
+        accepted = 0
+
+        while spent < budget:
+            neighbors = space.neighbors(current, seed=move_rng)
+            if neighbors.size == 0:
+                break
+            proposal = int(neighbors[0])
+            observed = env.run_solo(app, proposal, label="annealing").observed_time
+            log.add(proposal, observed)
+            spent += 1
+
+            delta = observed - current_time
+            if delta <= 0 or move_rng.random() < np.exp(
+                -delta / max(temperature, 1e-9)
+            ):
+                current, current_time = proposal, observed
+                accepted += 1
+                stale = 0 if delta < 0 else stale + 1
+            else:
+                stale += 1
+            temperature *= self.cooling
+
+            if stale >= _RESTART_PATIENCE and spent < budget:
+                current = int(space.sample_indices(1, move_rng)[0])
+                current_time = env.run_solo(
+                    app, current, label="annealing"
+                ).observed_time
+                log.add(current, current_time)
+                spent += 1
+                temperature = self.initial_temperature * current_time
+                stale = 0
+                restarts += 1
+
+        details = {
+            "accepted": accepted,
+            "restarts": restarts,
+            "final_temperature": float(temperature),
+            "best_observed_time": log.best_time,
+            "observed_indices": list(log.indices),
+            "observed_times": list(log.times),
+        }
+        return log.best_index, spent, details

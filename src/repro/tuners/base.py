@@ -1,0 +1,114 @@
+"""Baseline-tuner interface and shared helpers.
+
+All baselines share one constraint, which is the paper's whole point: they
+sample configurations **one at a time** in the noisy cloud and trust the
+observed execution time.  They therefore interact with the environment only
+through :meth:`CloudEnvironment.run_solo` / ``run_solo_batch``.
+
+Budgets are expressed as a number of solo executions.  The default budget is
+a fraction of the space size chosen per tuner so that the baselines' tuning
+cost lands in the 3–9%-of-exhaustive band the paper reports (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.rng import SeedLike, ensure_rng
+from repro.types import TuningResult
+
+
+def fraction_budget(space_size: int, fraction: float, *, lo: int = 64, hi: int = 20000) -> int:
+    """A sampling budget as a clamped fraction of the space size."""
+    if not 0.0 < fraction <= 1.0:
+        raise TunerError(f"budget fraction must be in (0, 1], got {fraction}")
+    return int(np.clip(int(fraction * space_size), lo, min(hi, space_size)))
+
+
+class Tuner(ABC):
+    """An interference-unaware tuner sampling solo runs in the cloud."""
+
+    #: Human-readable name used in every figure/table.
+    name: str = "tuner"
+    #: Default budget as a fraction of the space size (per-tuner constant).
+    budget_fraction: float = 0.04
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self.seed = seed
+
+    def default_budget(self, app: ApplicationModel) -> int:
+        return fraction_budget(app.space.size, self.budget_fraction)
+
+    def tune(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: Optional[int] = None,
+    ) -> TuningResult:
+        """Run the tuning campaign and return the chosen configuration."""
+        if budget is None:
+            budget = self.default_budget(app)
+        if budget < 1:
+            raise TunerError(f"budget must be >= 1, got {budget}")
+        rng = ensure_rng(self.seed)
+        hours_before = env.ledger.snapshot()
+        time_before = env.now
+        best_index, evaluations, details = self._search(app, env, budget, rng)
+        return TuningResult(
+            tuner_name=self.name,
+            best_index=int(best_index),
+            best_values=app.space.values_of(int(best_index)),
+            evaluations=int(evaluations),
+            core_hours=env.ledger.snapshot() - hours_before,
+            tuning_seconds=env.now - time_before,
+            details=details,
+        )
+
+    @abstractmethod
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        """Return ``(best_index, evaluations, details)``."""
+
+
+class ObservationLog:
+    """Running record of (index, observed time) pairs during a search."""
+
+    def __init__(self) -> None:
+        self.indices: list = []
+        self.times: list = []
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def add(self, index: int, observed: float) -> None:
+        self.indices.append(int(index))
+        self.times.append(float(observed))
+
+    @property
+    def best_index(self) -> int:
+        if not self.indices:
+            raise TunerError("no observations recorded")
+        return self.indices[int(np.argmin(self.times))]
+
+    @property
+    def best_time(self) -> float:
+        if not self.times:
+            raise TunerError("no observations recorded")
+        return float(np.min(self.times))
+
+    def as_arrays(self) -> tuple:
+        return (
+            np.asarray(self.indices, dtype=np.int64),
+            np.asarray(self.times, dtype=float),
+        )

@@ -1,0 +1,49 @@
+"""Exhaustive search in the cloud (Sec. 2).
+
+Samples *every* configuration of the space, one by one, in the noisy
+environment, and returns the configuration with the smallest observed time.
+The paper uses it as the brute-force upper bound on tuning effort — and
+shows that even this is suboptimal, because each configuration is observed
+under a different, uncontrollable interference draw: the "winner" is usually
+a fragile configuration that got a lucky quiet moment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.tuners.base import Tuner
+
+
+class ExhaustiveSearch(Tuner):
+    """Run every configuration once in the cloud; keep the fastest observed."""
+
+    name = "Exhaustive"
+    budget_fraction = 1.0
+
+    def default_budget(self, app: ApplicationModel) -> int:
+        return app.space.size
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        # The budget argument is accepted for interface compatibility but an
+        # exhaustive search, by definition, visits the whole space.
+        best_index = -1
+        best_time = np.inf
+        total = 0
+        for chunk in app.space.iter_chunks():
+            observed = env.run_solo_batch(app, chunk, label="exhaustive")
+            pos = int(np.argmin(observed))
+            total += len(chunk)
+            if observed[pos] < best_time:
+                best_time = float(observed[pos])
+                best_index = int(chunk[pos])
+        details = {"best_observed_time": best_time}
+        return best_index, total, details

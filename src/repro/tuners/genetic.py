@@ -1,0 +1,145 @@
+"""Genetic-algorithm tuner (a heuristic baseline from the related work).
+
+Sec. 6 groups "heuristic-based optimization like genetic algorithms and
+simulated annealing" among the established tuning approaches that assume a
+stable measurement environment.  This implementation is a standard
+generational GA over parameter-level chromosomes:
+
+* tournament selection on observed (noisy) execution times,
+* uniform crossover per dimension,
+* per-dimension mutation to a random level,
+* elitism: the best observed individual always survives.
+
+Like every baseline, it samples configurations solo in the noisy cloud and
+trusts the measured time — a lucky quiet-time measurement makes a fragile
+chromosome look elite and steers the whole population toward it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.rng import child
+from repro.tuners.base import ObservationLog, Tuner
+
+_POPULATION = 24
+_TOURNAMENT_K = 3
+_CROSSOVER_RATE = 0.9
+_MUTATION_RATE = 0.15
+
+
+class GeneticTuner(Tuner):
+    """Generational GA over parameter levels with noisy fitness.
+
+    Args:
+        population: individuals per generation.
+        mutation_rate: per-dimension probability of a random-level mutation.
+        seed: tuner seed.
+    """
+
+    name = "GeneticAlgorithm"
+    budget_fraction = 0.03
+
+    def __init__(
+        self,
+        population: int = _POPULATION,
+        mutation_rate: float = _MUTATION_RATE,
+        seed=0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if population < 4:
+            raise TunerError(f"population must be >= 4, got {population}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise TunerError(
+                f"mutation_rate must be in [0, 1], got {mutation_rate}"
+            )
+        self.population = population
+        self.mutation_rate = mutation_rate
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        space = app.space
+        cards = space.cardinalities
+        log = ObservationLog()
+
+        pop_size = min(self.population, budget, space.size)
+        individuals = space.levels_matrix(
+            space.sample_indices(pop_size, child(rng), replace=False)
+        )
+        fitness = self._evaluate(app, env, individuals, log)
+        spent = pop_size
+        generations = 0
+
+        while spent < budget:
+            take = min(pop_size, budget - spent)
+            offspring = self._breed(individuals, fitness, cards, take, rng)
+            child_fitness = self._evaluate(app, env, offspring, log)
+            spent += take
+            generations += 1
+            # Elitist merge: keep the best `pop_size` of parents + children.
+            merged = np.vstack([individuals, offspring])
+            merged_fit = np.concatenate([fitness, child_fitness])
+            order = np.argsort(merged_fit)[:pop_size]
+            individuals, fitness = merged[order], merged_fit[order]
+
+        details = {
+            "generations": generations,
+            "population": pop_size,
+            "best_observed_time": log.best_time,
+            "observed_indices": list(log.indices),
+            "observed_times": list(log.times),
+        }
+        return log.best_index, spent, details
+
+    # -- GA operators -----------------------------------------------------
+
+    def _evaluate(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        individuals: np.ndarray,
+        log: ObservationLog,
+    ) -> np.ndarray:
+        indices = app.space.indices_of_levels_matrix(individuals)
+        observed = env.run_solo_batch(app, indices, label="genetic")
+        for idx, t in zip(indices, observed):
+            log.add(int(idx), float(t))
+        return np.asarray(observed, dtype=float)
+
+    def _select(
+        self, fitness: np.ndarray, rng: np.random.Generator
+    ) -> int:
+        """K-way tournament selection: lowest observed time wins."""
+        contenders = rng.integers(0, len(fitness), size=_TOURNAMENT_K)
+        return int(contenders[int(np.argmin(fitness[contenders]))])
+
+    def _breed(
+        self,
+        individuals: np.ndarray,
+        fitness: np.ndarray,
+        cards: np.ndarray,
+        n: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        dim = individuals.shape[1]
+        out = np.empty((n, dim), dtype=np.int64)
+        for k in range(n):
+            a = individuals[self._select(fitness, rng)]
+            b = individuals[self._select(fitness, rng)]
+            if rng.random() < _CROSSOVER_RATE:
+                mask = rng.random(dim) < 0.5
+                genome = np.where(mask, a, b)
+            else:
+                genome = a.copy()
+            mutate = rng.random(dim) < self.mutation_rate
+            random_levels = (rng.random(dim) * cards).astype(np.int64)
+            out[k] = np.where(mutate, random_levels, genome)
+        return out

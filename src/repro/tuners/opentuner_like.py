@@ -1,0 +1,154 @@
+"""OpenTuner-style ensemble tuner (Ansel et al., PACT'14).
+
+OpenTuner's defining idea is a *meta-technique*: a multi-armed bandit with
+sliding-window AUC credit assignment arbitrates among several search
+techniques (greedy mutation, differential evolution, pattern search, random
+sampling), all sharing one result database.  We reproduce that architecture
+over our integer-level search spaces.  Like the original, it trusts every
+measured execution time — which is exactly what breaks in a noisy cloud.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.rng import child
+from repro.tuners.base import ObservationLog, Tuner
+
+_WINDOW = 50  # sliding window of the AUC bandit
+
+
+class _Technique:
+    """One proposal strategy sharing the global observation log."""
+
+    name = "technique"
+
+    def propose(
+        self,
+        app: ApplicationModel,
+        log: ObservationLog,
+        rng: np.random.Generator,
+    ) -> int:
+        raise NotImplementedError
+
+
+class _UniformRandom(_Technique):
+    name = "random"
+
+    def propose(self, app, log, rng):
+        return int(app.space.sample_indices(1, rng)[0])
+
+
+class _GreedyMutation(_Technique):
+    """Perturb a handful of parameters of the best-known configuration."""
+
+    name = "greedy-mutation"
+
+    def propose(self, app, log, rng):
+        if not len(log):
+            return int(app.space.sample_indices(1, rng)[0])
+        levels = np.array(app.space.levels_of(log.best_index), dtype=np.int64)
+        cards = app.space.cardinalities
+        n_mut = 1 + int(rng.integers(0, max(1, app.space.dimension // 4)))
+        dims = rng.choice(app.space.dimension, size=n_mut, replace=False)
+        for j in dims:
+            levels[j] = rng.integers(0, cards[j])
+        return int(app.space.indices_of_levels_matrix(levels[None, :])[0])
+
+
+class _PatternSearch(_Technique):
+    """Axis-aligned unit steps around the best-known configuration."""
+
+    name = "pattern-search"
+
+    def propose(self, app, log, rng):
+        if not len(log):
+            return int(app.space.sample_indices(1, rng)[0])
+        neighbors = app.space.neighbors(log.best_index, seed=child(rng))
+        if neighbors.size == 0:
+            return int(app.space.sample_indices(1, rng)[0])
+        return int(neighbors[0])
+
+
+class _DifferentialEvolution(_Technique):
+    """DE/rand/1 on the level lattice, using the log as the population."""
+
+    name = "differential-evolution"
+
+    def propose(self, app, log, rng):
+        if len(log) < 4:
+            return int(app.space.sample_indices(1, rng)[0])
+        indices, times = log.as_arrays()
+        # Restrict to the better half of observations as the population.
+        order = np.argsort(times)[: max(4, len(times) // 2)]
+        picks = rng.choice(order, size=3, replace=False)
+        a, b, c = (
+            app.space.levels_matrix(indices[picks])
+        )
+        cards = app.space.cardinalities
+        f_scale = 0.6
+        trial = a + np.round(f_scale * (b - c)).astype(np.int64)
+        trial = np.clip(trial, 0, cards - 1)
+        # Crossover with the best-known configuration.
+        best = np.array(app.space.levels_of(log.best_index), dtype=np.int64)
+        mask = rng.random(app.space.dimension) < 0.5
+        trial = np.where(mask, trial, best)
+        return int(app.space.indices_of_levels_matrix(trial[None, :])[0])
+
+
+class OpenTunerLike(Tuner):
+    """AUC-bandit ensemble of search techniques (OpenTuner's architecture)."""
+
+    name = "OpenTuner"
+    budget_fraction = 0.04
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        techniques: List[_Technique] = [
+            _GreedyMutation(),
+            _DifferentialEvolution(),
+            _PatternSearch(),
+            _UniformRandom(),
+        ]
+        history: Dict[str, deque] = {t.name: deque(maxlen=_WINDOW) for t in techniques}
+        uses: Dict[str, int] = {t.name: 0 for t in techniques}
+        log = ObservationLog()
+
+        for step in range(budget):
+            technique = self._pick_technique(techniques, history, uses, step, rng)
+            index = technique.propose(app, log, rng)
+            outcome = env.run_solo(app, index, label="opentuner")
+            improved = (not len(log)) or outcome.observed_time < log.best_time
+            log.add(index, outcome.observed_time)
+            history[technique.name].append(1.0 if improved else 0.0)
+            uses[technique.name] += 1
+
+        details = {
+            "technique_uses": dict(uses),
+            "best_observed_time": log.best_time,
+            "observed_indices": list(log.indices),
+            "observed_times": list(log.times),
+        }
+        return log.best_index, budget, details
+
+    @staticmethod
+    def _pick_technique(techniques, history, uses, step, rng):
+        """AUC bandit: exploitation = windowed success rate, plus UCB bonus."""
+        scores = []
+        for t in techniques:
+            window = history[t.name]
+            auc = float(np.mean(window)) if window else 1.0
+            bonus = np.sqrt(2.0 * np.log(step + 1.0) / (uses[t.name] + 1.0))
+            scores.append(auc + bonus)
+        best = np.flatnonzero(np.asarray(scores) == np.max(scores))
+        return techniques[int(rng.choice(best))]

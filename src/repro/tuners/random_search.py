@@ -1,0 +1,33 @@
+"""Uniform random search — the simplest interference-unaware baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.tuners.base import Tuner
+
+
+class RandomSearch(Tuner):
+    """Sample ``budget`` random configurations and keep the best observed."""
+
+    name = "RandomSearch"
+    budget_fraction = 0.04
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        indices = app.space.sample_indices(budget, rng)
+        observed = env.run_solo_batch(app, indices, label="random-search")
+        best_pos = int(np.argmin(observed))
+        details = {
+            "best_observed_time": float(observed[best_pos]),
+            "observed_indices": [int(i) for i in indices],
+            "observed_times": [float(t) for t in observed],
+        }
+        return int(indices[best_pos]), budget, details

@@ -1,0 +1,146 @@
+"""Thompson-sampling tuner (a statistical noise-handling baseline, Sec. 3.2).
+
+Thompson sampling is the textbook bandit answer to noisy rewards: maintain a
+posterior over each arm's mean outcome, sample from the posteriors, and play
+the arm whose sample looks best.  We cast tuning as a bandit over contiguous
+*blocks* of the search space (the same index-block construction the regional
+phase uses), with a Normal-Inverse-Gamma posterior per block over observed
+execution times.
+
+The paper's Sec. 3.2 argument applies squarely: the posterior assumes
+exchangeable noise, but cloud interference drifts between pulls, so a block
+unlucky enough to be measured during a noisy stretch is written off long
+before its posterior can recover.  This baseline exists so the claim is
+reproducible rather than rhetorical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.rng import child
+from repro.tuners.base import ObservationLog, Tuner
+
+
+@dataclass
+class ArmPosterior:
+    """Normal-Inverse-Gamma posterior over one block's execution times.
+
+    Prior: ``mu ~ N(m0, v / k0)``, ``v ~ InvGamma(a0, b0)``.  Updates follow
+    the standard conjugate recursions on each observed time.
+    """
+
+    m: float
+    k: float = 1e-3
+    a: float = 1.0
+    b: float = 1.0
+    pulls: int = 0
+    times: List[float] = field(default_factory=list)
+
+    def update(self, observed: float) -> None:
+        """Fold one observed execution time into the posterior."""
+        if observed <= 0:
+            raise TunerError(f"observed time must be positive, got {observed}")
+        k_new = self.k + 1.0
+        m_new = (self.k * self.m + observed) / k_new
+        self.a += 0.5
+        self.b += 0.5 * self.k * (observed - self.m) ** 2 / k_new
+        self.m, self.k = m_new, k_new
+        self.pulls += 1
+        self.times.append(float(observed))
+
+    def sample_mean(self, rng: np.random.Generator) -> float:
+        """Draw one plausible block-mean time from the posterior."""
+        variance = self.b / (self.a * self.k)
+        # Student-t with 2a degrees of freedom, location m, scale sqrt(var).
+        return float(self.m + rng.standard_t(2.0 * self.a) * np.sqrt(variance))
+
+
+class ThompsonSamplingTuner(Tuner):
+    """Bandit over index blocks with Normal-Inverse-Gamma posteriors.
+
+    Args:
+        n_arms: number of contiguous index blocks treated as bandit arms
+            (``None`` auto-sizes to ``min(64, size // 16)``).
+        seed: tuner seed.
+    """
+
+    name = "ThompsonSampling"
+    budget_fraction = 0.03
+
+    def __init__(self, n_arms=None, seed=0) -> None:
+        super().__init__(seed=seed)
+        if n_arms is not None and n_arms < 1:
+            raise TunerError(f"n_arms must be >= 1, got {n_arms}")
+        self.n_arms = n_arms
+
+    def _search(
+        self,
+        app: ApplicationModel,
+        env: CloudEnvironment,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> tuple:
+        size = app.space.size
+        n_arms = self.n_arms or max(2, min(64, size // 16))
+        n_arms = min(n_arms, size)
+        bounds = np.linspace(0, size, n_arms + 1, dtype=np.int64)
+        pick_rng = child(rng)
+
+        # Optimistic common prior centred on a first random observation, so
+        # every arm gets explored before the posterior takes over.
+        probe = int(app.space.sample_indices(1, child(rng))[0])
+        first = env.run_solo(app, probe, label="thompson").observed_time
+        arms = [ArmPosterior(m=first) for _ in range(n_arms)]
+        log = ObservationLog()
+        log.add(probe, first)
+        arms[self._arm_of(probe, bounds)].update(first)
+        spent = 1
+
+        while spent < budget:
+            samples = np.array([arm.sample_mean(pick_rng) for arm in arms])
+            arm_id = int(np.argmin(samples))
+            lo, hi = int(bounds[arm_id]), int(bounds[arm_id + 1])
+            index = int(pick_rng.integers(lo, hi))
+            observed = env.run_solo(app, index, label="thompson").observed_time
+            arms[arm_id].update(observed)
+            log.add(index, observed)
+            spent += 1
+
+        best_arm = int(np.argmin([arm.m if arm.pulls else np.inf for arm in arms]))
+        best = self._best_in_arm(log, bounds, best_arm)
+        details = {
+            "n_arms": n_arms,
+            "arm_pulls": [arm.pulls for arm in arms],
+            "best_arm": best_arm,
+            "best_observed_time": log.best_time,
+            # Exposed for the Sec. 3.6 integration (HybridTuner).
+            "observed_indices": list(log.indices),
+            "observed_times": list(log.times),
+        }
+        return best, spent, details
+
+    @staticmethod
+    def _arm_of(index: int, bounds: np.ndarray) -> int:
+        """Map a configuration index to its block id."""
+        return int(np.searchsorted(bounds, index, side="right") - 1)
+
+    @staticmethod
+    def _best_in_arm(log: ObservationLog, bounds: np.ndarray, arm_id: int) -> int:
+        """Best observed configuration within the posterior-best block.
+
+        Falls back to the global best observation if the block was starved.
+        """
+        lo, hi = int(bounds[arm_id]), int(bounds[arm_id + 1])
+        indices, times = log.as_arrays()
+        inside = (indices >= lo) & (indices < hi)
+        if not inside.any():
+            return log.best_index
+        pos = int(np.argmin(np.where(inside, times, np.inf)))
+        return int(indices[pos])

@@ -1,0 +1,57 @@
+"""Unit tests for core-hour accounting."""
+
+import pytest
+
+from repro.cloud.accounting import CoreHourLedger
+from repro.errors import CloudError
+
+
+class TestLedger:
+    def test_empty(self):
+        assert CoreHourLedger().core_hours == 0.0
+
+    def test_book_core_hours(self):
+        ledger = CoreHourLedger()
+        ledger.book(vcpus=32, seconds=3600.0)
+        assert ledger.core_hours == pytest.approx(32.0)
+
+    def test_labels_accumulate_separately(self):
+        ledger = CoreHourLedger()
+        ledger.book(vcpus=2, seconds=3600.0, label="regional")
+        ledger.book(vcpus=2, seconds=1800.0, label="global")
+        by_label = ledger.core_hours_by_label()
+        assert by_label["regional"] == pytest.approx(2.0)
+        assert by_label["global"] == pytest.approx(1.0)
+        assert ledger.core_hours == pytest.approx(3.0)
+
+    def test_snapshot_delta(self):
+        ledger = CoreHourLedger()
+        ledger.book(vcpus=1, seconds=3600.0)
+        before = ledger.snapshot()
+        ledger.book(vcpus=1, seconds=7200.0)
+        assert ledger.snapshot() - before == pytest.approx(2.0)
+
+    def test_wall_clock(self):
+        ledger = CoreHourLedger()
+        ledger.advance_wall(7200.0)
+        assert ledger.wall_hours == pytest.approx(2.0)
+
+    def test_reset(self):
+        ledger = CoreHourLedger()
+        ledger.book(vcpus=4, seconds=100.0)
+        ledger.advance_wall(50.0)
+        ledger.reset()
+        assert ledger.core_hours == 0.0
+        assert ledger.wall_hours == 0.0
+
+    def test_invalid_vcpus(self):
+        with pytest.raises(CloudError):
+            CoreHourLedger().book(vcpus=0, seconds=10.0)
+
+    def test_negative_seconds(self):
+        with pytest.raises(CloudError):
+            CoreHourLedger().book(vcpus=1, seconds=-1.0)
+
+    def test_negative_wall(self):
+        with pytest.raises(CloudError):
+            CoreHourLedger().advance_wall(-1.0)

@@ -1,0 +1,145 @@
+"""Unit and property tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    cdf_points,
+    coefficient_of_variation,
+    geometric_mean,
+    percent_increase,
+    rank_with_ties,
+    summarize,
+)
+
+
+class TestCov:
+    def test_constant_series_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        # std of [1, 3] (population) is 1, mean is 2 -> CoV = 50%
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(50.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    @given(st.lists(st.floats(1.0, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_nonnegative(self, values):
+        assert coefficient_of_variation(values) >= 0.0
+
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=2, max_size=50),
+        st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariant(self, values, factor):
+        a = coefficient_of_variation(values)
+        b = coefficient_of_variation([v * factor for v in values])
+        assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestPercentIncrease:
+    def test_basic(self):
+        assert percent_increase(150.0, 100.0) == pytest.approx(50.0)
+
+    def test_negative(self):
+        assert percent_increase(80.0, 100.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            percent_increase(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestCdf:
+    def test_sorted_and_percent(self):
+        values, pct = cdf_points([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert pct.tolist() == pytest.approx([100 / 3, 200 / 3, 100.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestRanks:
+    def test_ascending(self):
+        assert rank_with_ties([10.0, 30.0, 20.0]).tolist() == [1, 3, 2]
+
+    def test_descending(self):
+        assert rank_with_ties([10.0, 30.0, 20.0], descending=True).tolist() == [3, 1, 2]
+
+    def test_ties_share_rank(self):
+        ranks = rank_with_ties([1.0, 1.0, 2.0])
+        assert ranks.tolist() == [1, 1, 3]
+
+    def test_all_tied(self):
+        assert rank_with_ties([5.0, 5.0, 5.0]).tolist() == [1, 1, 1]
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_rank_range(self, values):
+        ranks = rank_with_ties(values)
+        assert ranks.min() == 1
+        assert ranks.max() <= len(values)
+
+    @given(st.lists(st.floats(0, 100), min_size=2, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_smaller_value_never_worse_rank(self, values):
+        ranks = rank_with_ties(values)
+        order = np.argsort(values)
+        assert all(
+            ranks[order[i]] <= ranks[order[i + 1]] for i in range(len(values) - 1)
+        )
+
+
+class TestSummaryAndBootstrap:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.n == 3
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bootstrap_contains_mean_for_tight_data(self):
+        lo, hi = bootstrap_ci([10.0] * 20, seed=0)
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(10.0)
+
+    def test_bootstrap_ordered(self):
+        lo, hi = bootstrap_ci(np.linspace(0, 1, 30), seed=0)
+        assert lo <= hi
+
+    def test_bootstrap_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_bootstrap_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])

@@ -1,0 +1,183 @@
+"""Unit tests for the four application models and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATION_NAMES, make_application
+from repro.apps.ffmpeg_app import make_ffmpeg
+from repro.apps.gromacs_app import make_gromacs
+from repro.apps.lammps_app import make_lammps
+from repro.apps.redis_app import make_redis
+from repro.apps.scaling import apply_scale, level_cap, scale_label
+from repro.apps.surfaces import sample_surface_stats
+from repro.errors import ReproError, SpaceError
+from repro.space.parameters import categorical
+
+
+class TestRegistry:
+    def test_names(self):
+        assert APPLICATION_NAMES == ("redis", "gromacs", "ffmpeg", "lammps")
+
+    @pytest.mark.parametrize("name", APPLICATION_NAMES)
+    def test_build_each(self, name):
+        app = make_application(name, scale="test")
+        assert app.name == name
+        assert app.space.size > 100
+
+    def test_case_insensitive(self):
+        assert make_application("Redis", scale="test").name == "redis"
+
+    def test_unknown_app(self):
+        with pytest.raises(ReproError):
+            make_application("postgres")
+
+    def test_seed_override_changes_surface(self):
+        a = make_application("redis", scale="test")
+        b = make_application("redis", scale="test", seed=999)
+        idx = a.space.sample_indices(100, seed=0)
+        assert not np.array_equal(a.true_time(idx), b.true_time(idx))
+
+
+class TestFullScaleSizes:
+    """Table 1 reports spaces in the millions; ours must match closely."""
+
+    def test_redis(self):
+        assert make_redis(scale="full").space.size == 7_680_000
+
+    def test_gromacs(self):
+        assert make_gromacs(scale="full").space.size == 3_801_600
+
+    def test_ffmpeg(self):
+        assert make_ffmpeg(scale="full").space.size == 5_971_968
+
+    def test_lammps(self):
+        assert make_lammps(scale="full").space.size == 4_400_000
+
+    @pytest.mark.parametrize(
+        "name,paper_size",
+        [("redis", 7.8e6), ("gromacs", 3.8e6), ("ffmpeg", 6.1e6), ("lammps", 4.4e6)],
+    )
+    def test_within_3pct_of_paper(self, name, paper_size):
+        app = make_application(name, scale="full")
+        assert abs(app.space.size - paper_size) / paper_size < 0.03
+
+
+class TestParameterTables:
+    @pytest.mark.parametrize("name", APPLICATION_NAMES)
+    def test_has_app_and_system_parameters(self, name):
+        app = make_application(name, scale="full")
+        kinds = {p.kind for p in app.space.parameters}
+        assert kinds == {"app", "system"}
+
+    def test_redis_has_table1_knobs(self):
+        names = {p.name for p in make_redis(scale="full").space.parameters}
+        assert {"maxmemory-policy", "appendfsync", "tcp-backlog", "hz"} <= names
+
+    def test_gromacs_has_table1_knobs(self):
+        names = {p.name for p in make_gromacs(scale="full").space.parameters}
+        assert {"integrator", "nstlist", "fourier_spacing", "coulombtype"} <= names
+
+    def test_ffmpeg_has_table1_knobs(self):
+        names = {p.name for p in make_ffmpeg(scale="full").space.parameters}
+        assert {"optimization-level", "vectorization", "loop-unrolling"} <= names
+
+    def test_lammps_has_table1_knobs(self):
+        names = {p.name for p in make_lammps(scale="full").space.parameters}
+        assert {"neighbor-skin-distance", "timestep-fs", "cutoff-distance"} <= names
+
+
+class TestScaling:
+    def test_level_cap_presets(self):
+        assert level_cap("full") is None
+        assert level_cap("test") == 2
+        assert level_cap(5) == 5
+
+    def test_level_cap_invalid(self):
+        with pytest.raises(SpaceError):
+            level_cap("huge")
+        with pytest.raises(SpaceError):
+            level_cap(0)
+        with pytest.raises(SpaceError):
+            level_cap(True)
+
+    def test_apply_scale(self):
+        params = [categorical("a", list(range(10)))]
+        assert apply_scale(params, "test")[0].cardinality == 2
+        assert apply_scale(params, "full")[0].cardinality == 10
+
+    def test_scale_label(self):
+        assert scale_label("bench") == "bench"
+        assert scale_label(4) == "cap4"
+
+    def test_scales_ordered_by_size(self):
+        test = make_redis(scale="test").space.size
+        bench = make_redis(scale="bench").space.size
+        full = make_redis(scale="full").space.size
+        assert test < bench < full
+
+
+class TestOracles:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return make_application("redis", scale="test")
+
+    def test_optimal_is_global_minimum(self, app):
+        times = app.true_time(np.arange(app.space.size))
+        assert app.optimal.true_time == pytest.approx(times.min())
+        assert app.optimal.index == int(np.argmin(times))
+
+    def test_best_robust_slower_than_optimal(self, app):
+        assert app.best_robust.true_time > app.optimal.true_time
+
+    def test_best_robust_is_robust(self, app):
+        assert bool(app.is_robust([app.best_robust.index])[0])
+
+    def test_optimal_is_fragile(self, app):
+        assert app.optimal.sensitivity > 0.3
+
+    def test_best_robust_is_calm(self, app):
+        assert app.best_robust.sensitivity < 0.1
+
+    def test_best_robust_within_paper_band(self, app):
+        """The speed premium for stability lands near the paper's 4.2%."""
+        gap = app.best_robust.true_time / app.optimal.true_time - 1.0
+        assert 0.01 < gap < 0.15
+
+    def test_optimality_gap(self, app):
+        assert app.optimality_gap_percent(app.optimal.index) == pytest.approx(0.0)
+        assert app.optimality_gap_percent(app.best_robust.index) > 0.0
+
+
+class TestCalibration:
+    """Every app's surface must reproduce the paper's Sec. 2 observations."""
+
+    @pytest.mark.parametrize("name", APPLICATION_NAMES)
+    def test_time_ranges(self, name):
+        expected = {
+            "redis": (230.0, 792.0),
+            "gromacs": (700.0, 2800.0),
+            "ffmpeg": (140.0, 420.0),
+            "lammps": (750.0, 2250.0),
+        }[name]
+        app = make_application(name, scale="bench")
+        stats = sample_surface_stats(app.surface, n=3000, seed=1)
+        assert stats["time_min"] >= expected[0] * 0.95
+        assert stats["time_max"] <= expected[1] * 1.05
+        assert stats["time_max"] > expected[1] * 0.75
+
+    @pytest.mark.parametrize("name", APPLICATION_NAMES)
+    def test_bulk_beyond_2x(self, name):
+        app = make_application(name, scale="bench")
+        stats = sample_surface_stats(app.surface, n=3000, seed=1)
+        assert stats["fraction_within_2x"] < 0.15
+
+    @pytest.mark.parametrize("name", APPLICATION_NAMES)
+    def test_robust_population_exists(self, name):
+        app = make_application(name, scale="bench")
+        stats = sample_surface_stats(app.surface, n=5000, seed=1)
+        assert stats["robust_fraction"] > 0.005
+
+    @pytest.mark.parametrize("name", APPLICATION_NAMES)
+    def test_work_metric_documented(self, name):
+        app = make_application(name, scale="test")
+        assert len(app.work_metric) > 10

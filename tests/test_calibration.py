@@ -1,0 +1,55 @@
+"""The Sec. 2 calibration contract holds for every application and scale."""
+
+import pytest
+
+from repro.apps import make_application
+from repro.apps.calibration import assert_calibrated, calibrate_report
+from repro.errors import CalibrationError
+
+APPS = ("redis", "gromacs", "ffmpeg", "lammps")
+
+
+class TestContractHolds:
+    @pytest.mark.parametrize("app_name", APPS)
+    def test_bench_scale(self, app_name):
+        assert_calibrated(make_application(app_name, scale="bench"))
+
+    @pytest.mark.parametrize("app_name", APPS)
+    def test_full_scale(self, app_name):
+        """The paper-sized spaces satisfy the same contract."""
+        report = calibrate_report(
+            make_application(app_name, scale="full"), n=4000
+        )
+        assert report.all_hold, report.render()
+
+
+class TestReportStructure:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate_report(make_application("redis", scale="bench"))
+
+    def test_six_checks(self, report):
+        assert len(report.checks) == 7
+
+    def test_named_lookup(self, report):
+        assert report.check("spread_ratio_sampled").value > 2.5
+        assert report.check("spread_ratio_vs_optimum").value > 2.8
+        with pytest.raises(KeyError):
+            report.check("nope")
+
+    def test_render_mentions_every_check(self, report):
+        text = report.render()
+        for c in report.checks:
+            assert c.name in text
+
+    def test_blue_gap_range(self, report):
+        """Stability costs a few percent of speed, never more than ~25%."""
+        gap = report.check("best_robust_over_best").value
+        assert 1.0 < gap < 1.25
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(CalibrationError):
+            calibrate_report(make_application("redis", scale="test"), n=10)
+
+    def test_assert_calibrated_passes(self):
+        assert_calibrated(make_application("redis", scale="bench"))

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.app == "redis"
+        assert args.strategy == "DarwinGame"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--app", "postgres"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--name", "fig99"])
+
+
+class TestCommands:
+    def test_tune_runs(self, capsys):
+        code = main(["tune", "--app", "redis", "--scale", "test", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DarwinGame on redis" in out
+        assert "Chosen configuration" in out
+
+    def test_compare_runs(self, capsys):
+        code = main([
+            "compare", "--app", "redis", "--scale", "test",
+            "--strategies", "Optimal,DarwinGame",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Optimal" in out and "DarwinGame" in out
+
+    def test_compare_rejects_unknown_strategy(self, capsys):
+        code = main([
+            "compare", "--app", "redis", "--scale", "test",
+            "--strategies", "Optimal,SkyNet",
+        ])
+        assert code == 2
+
+    def test_experiment_stability(self, capsys):
+        code = main([
+            "experiment", "--name", "stability", "--scale", "test",
+            "--repeats", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pick stability" in out
+
+    def test_table1(self, capsys):
+        code = main(["table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "redis" in out and "lammps" in out
+
+    def test_compare_with_statistical_baselines(self, capsys):
+        code = main([
+            "compare", "--app", "redis", "--scale", "test",
+            "--strategies", "QuantileRegression,ThompsonSampling",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "QuantileRegression" in out and "ThompsonSampling" in out
+
+    def test_experiment_formats(self, capsys):
+        code = main(["experiment", "--name", "formats", "--scale", "test"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Swiss" in out and "RoundRobin" in out
+
+    def test_experiment_shift(self, capsys):
+        code = main(["experiment", "--name", "shift", "--scale", "test"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distribution shift" in out
+        assert "DarwinGame" in out
+
+    def test_experiment_statistical(self, capsys):
+        code = main([
+            "experiment", "--name", "statistical", "--scale", "test",
+            "--repeats", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "statistical baselines" in out
+
+    def test_tune_with_heuristic_strategy(self, capsys):
+        code = main([
+            "tune", "--app", "redis", "--scale", "test",
+            "--strategy", "GeneticAlgorithm",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GeneticAlgorithm on redis" in out
+
+    def test_tune_save_and_report(self, capsys, tmp_path):
+        archive = str(tmp_path / "campaign.json")
+        code = main([
+            "tune", "--app", "redis", "--scale", "test", "--seed", "2",
+            "--save", archive,
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["report", archive])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DarwinGame" in out
+        assert "mean cloud exec time" in out

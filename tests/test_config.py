@@ -1,0 +1,97 @@
+"""Unit tests for DarwinGameConfig and the ablation registry."""
+
+import pytest
+
+from repro.core.config import ABLATION_NAMES, DarwinGameConfig, auto_regions
+from repro.errors import TournamentError
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = DarwinGameConfig()
+        assert cfg.work_deviation == pytest.approx(0.10)
+        assert cfg.min_work_for_termination == pytest.approx(0.25)
+        assert cfg.main_bracket_target == 3
+        assert cfg.early_termination
+        assert cfg.use_execution_score and cfg.use_consistency_score
+
+    def test_bad_deviation(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(work_deviation=0.0)
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(work_deviation=1.0)
+
+    def test_bad_min_work(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(min_work_for_termination=1.0)
+
+    def test_bad_streak(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(regional_win_streak=1)
+
+    def test_bad_bracket_target(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(main_bracket_target=0)
+
+    def test_bad_regions(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(n_regions=0)
+
+    def test_bad_players(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(players_per_game=1)
+
+    def test_must_use_some_score(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig(use_execution_score=False, use_consistency_score=False)
+
+    def test_frozen(self):
+        cfg = DarwinGameConfig()
+        with pytest.raises(AttributeError):
+            cfg.work_deviation = 0.2
+
+
+class TestAblations:
+    def test_all_names_resolve(self):
+        base = DarwinGameConfig()
+        for name in ABLATION_NAMES:
+            variant = base.with_ablation(name)
+            assert variant != base or name == "full"
+
+    def test_full_is_identity(self):
+        base = DarwinGameConfig()
+        assert base.with_ablation("full") == base
+
+    def test_unknown_ablation(self):
+        with pytest.raises(TournamentError):
+            DarwinGameConfig().with_ablation("w/o everything")
+
+    def test_specific_flags(self):
+        base = DarwinGameConfig()
+        assert not base.with_ablation("w/o regional").regional_phase
+        assert base.with_ablation("one-win regional").one_winner_per_region
+        assert not base.with_ablation("w/o Swiss").swiss_style
+        assert not base.with_ablation("w/o global").global_phase
+        assert not base.with_ablation("w/o double eli.").double_elimination
+        assert not base.with_ablation("w/o barrage").barrage_playoffs
+        assert not base.with_ablation("w/o consistency score").use_consistency_score
+        assert not base.with_ablation("w/o exe. score").use_execution_score
+        assert base.with_ablation("all 2-player games").two_player_games_only
+        assert not base.with_ablation("w/o early termination").early_termination
+
+    def test_ten_ablations(self):
+        assert len(ABLATION_NAMES) == 10
+
+
+class TestAutoRegions:
+    def test_proportional(self):
+        assert auto_regions(256 * 100) == 100
+
+    def test_capped_at_paper_value(self):
+        assert auto_regions(10**9) == 10_000
+
+    def test_floor(self):
+        assert auto_regions(2000) == 16
+
+    def test_tiny_space(self):
+        assert auto_regions(10) == 10

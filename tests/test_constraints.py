@@ -1,0 +1,123 @@
+"""Tests for configuration-validity constraints."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.tournament import DarwinGame
+from repro.errors import SpaceError
+from repro.apps.constrained import penalised_application
+from repro.space.constraints import (
+    Constraint,
+    requires,
+    sample_valid,
+    valid_fraction,
+    valid_mask,
+)
+from repro.space.parameters import categorical
+from repro.space.space import SearchSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace([
+        categorical("appendonly", ["no", "yes"]),
+        categorical("appendfsync", ["always", "everysec", "no"]),
+        categorical("hz", [10, 50, 100]),
+    ])
+
+
+@pytest.fixture(scope="module")
+def rule(space):
+    # When appendonly=no (level 0), appendfsync is forced to "no" (level 2).
+    return requires(space, "appendonly", 0, "appendfsync", [2])
+
+
+class TestConstraint:
+    def test_requires_semantics(self, space, rule):
+        ok = space.index_of_values(("no", "no", 10))
+        bad = space.index_of_values(("no", "always", 10))
+        free = space.index_of_values(("yes", "always", 10))
+        mask = valid_mask(space, [rule], [ok, bad, free])
+        assert mask.tolist() == [True, False, True]
+
+    def test_valid_fraction(self, space, rule):
+        # appendonly=no (1/2 of space) restricts appendfsync to 1 of 3:
+        # valid fraction = 1/2 + 1/2 * 1/3 = 2/3... wait: when appendonly=no
+        # only 1/3 of its half is valid -> 1/2*1/3 + 1/2 = 2/3.
+        frac = valid_fraction(space, [rule], n=4000, seed=0)
+        assert frac == pytest.approx(2.0 / 3.0, abs=0.03)
+
+    def test_shape_mismatch_rejected(self, space):
+        broken = Constraint("broken", lambda levels: np.ones(3, dtype=bool))
+        with pytest.raises(SpaceError):
+            broken.holds(space, [0])
+
+    def test_multiple_constraints_intersect(self, space, rule):
+        rule2 = requires(space, "appendonly", 1, "hz", [1, 2])
+        mask = valid_mask(
+            space, [rule, rule2],
+            [space.index_of_values(("yes", "always", 10))],
+        )
+        assert not mask[0]
+
+
+class TestSampleValid:
+    def test_samples_are_valid(self, space, rule):
+        samples = sample_valid(space, [rule], 50, seed=0)
+        assert valid_mask(space, [rule], samples).all()
+
+    def test_unsatisfiable_raises(self, space):
+        impossible = Constraint(
+            "never", lambda levels: np.zeros(levels.shape[0], dtype=bool)
+        )
+        with pytest.raises(SpaceError):
+            sample_valid(space, [impossible], 5, seed=0, max_attempts=3)
+
+    def test_zero_samples(self, space, rule):
+        assert sample_valid(space, [rule], 0, seed=0).size == 0
+
+
+class TestPenalisedApplication:
+    @pytest.fixture(scope="class")
+    def app_and_rule(self):
+        app = make_application("redis", scale="test")
+        space = app.space
+        # Forbid the first parameter's level 0 unless the second is level 0.
+        p0, p1 = space.parameters[0].name, space.parameters[1].name
+        rule = requires(space, p0, 0, p1, [0])
+        return penalised_application(app, [rule]), rule
+
+    def test_invalid_configs_run_at_penalty(self, app_and_rule):
+        app, rule = app_and_rule
+        indices = app.space.sample_indices(500, 0)
+        valid = app.valid(indices)
+        times = app.true_time(indices)
+        if (~valid).any():
+            assert times[~valid].min() > app.surface.spec.t_max
+
+    def test_invalid_configs_maximally_fragile(self, app_and_rule):
+        app, _ = app_and_rule
+        indices = app.space.sample_indices(500, 0)
+        valid = app.valid(indices)
+        if (~valid).any():
+            assert np.all(app.sensitivity(indices)[~valid] == 1.0)
+
+    def test_tournament_avoids_invalid_configs(self, app_and_rule):
+        app, _ = app_and_rule
+        env = CloudEnvironment(seed=0)
+        result = DarwinGame(DarwinGameConfig(seed=0)).tune(app, env)
+        assert bool(app.valid(np.array([result.best_index]))[0])
+
+    def test_rejects_bad_penalty(self):
+        app = make_application("redis", scale="test")
+        rule = Constraint("any", lambda lv: np.ones(lv.shape[0], dtype=bool))
+        with pytest.raises(SpaceError):
+            penalised_application(app, [rule], penalty_factor=1.0)
+
+    def test_rejects_empty_constraints(self):
+        app = make_application("redis", scale="test")
+        with pytest.raises(SpaceError):
+            penalised_application(app, [])

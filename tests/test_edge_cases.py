@@ -1,0 +1,148 @@
+"""Degenerate-input and failure-injection tests across the stack.
+
+A tuner library gets handed strange inputs: one-point spaces, spaces
+smaller than the region count, 1-vCPU VMs, budgets of one.  Every case must
+degrade gracefully into a defined answer, never crash or hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CloudEnvironment,
+    DarwinGame,
+    DarwinGameConfig,
+    SearchSpace,
+    VMSpec,
+    make_application,
+)
+from repro.apps.model import ApplicationModel
+from repro.apps.surfaces import PerformanceSurface, SurfaceSpec
+from repro.errors import CloudError, TournamentError
+from repro.space.parameters import categorical
+from repro.tuners import (
+    BlissLike,
+    QuantileRegressionTuner,
+    RandomSearch,
+    ThompsonSamplingTuner,
+)
+
+
+def tiny_app(n_levels: int, dims: int = 1) -> ApplicationModel:
+    space = SearchSpace(
+        [categorical(f"p{j}", list(range(n_levels))) for j in range(dims)]
+    )
+    surface = PerformanceSurface(
+        space, SurfaceSpec(t_min=100.0, t_max=300.0, n_major=min(1, dims)), seed=0
+    )
+    return ApplicationModel("tiny", space, surface)
+
+
+class TestDegenerateSpaces:
+    def test_single_point_space(self):
+        """A one-configuration space: the tournament returns it unplayed."""
+        app = tiny_app(1)
+        result = DarwinGame(DarwinGameConfig(seed=0)).tune(
+            app, CloudEnvironment(seed=0)
+        )
+        assert result.best_index == 0
+        assert result.evaluations == 0
+        assert result.core_hours == 0.0
+
+    def test_two_point_space(self):
+        app = tiny_app(2)
+        result = DarwinGame(DarwinGameConfig(seed=0)).tune(
+            app, CloudEnvironment(seed=0)
+        )
+        assert result.best_index in (0, 1)
+        assert result.evaluations >= 2
+
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_small_spaces_finish(self, n):
+        app = tiny_app(n)
+        result = DarwinGame(DarwinGameConfig(seed=1)).tune(
+            app, CloudEnvironment(seed=1)
+        )
+        assert 0 <= result.best_index < n
+
+    def test_more_regions_than_configs(self):
+        app = tiny_app(3)
+        cfg = DarwinGameConfig(n_regions=100, seed=0)
+        result = DarwinGame(cfg).tune(app, CloudEnvironment(seed=0))
+        assert 0 <= result.best_index < 3
+
+    def test_small_space_finds_a_good_config(self):
+        """With 16 configs the winner should land in the better half."""
+        app = tiny_app(4, dims=2)
+        result = DarwinGame(DarwinGameConfig(seed=2)).tune(
+            app, CloudEnvironment(seed=2)
+        )
+        times = app.true_time(np.arange(app.space.size))
+        winner_time = float(app.true_time(np.array([result.best_index]))[0])
+        assert winner_time <= np.quantile(times, 0.6)
+
+
+class TestNarrowVMs:
+    def test_one_vcpu_vm_plays_two_player_games(self):
+        """players_per_game is floored at 2 even on a 1-vCPU VM... which the
+        environment must reject, because 2 copies cannot co-locate on 1 vCPU."""
+        app = tiny_app(4)
+        vm = VMSpec("tiny.nano", 1, "general")
+        env = CloudEnvironment(vm, seed=0)
+        with pytest.raises(CloudError):
+            DarwinGame(DarwinGameConfig(seed=0)).tune(app, env)
+
+    def test_two_vcpu_vm_works(self):
+        app = make_application("redis", scale="test")
+        vm = VMSpec.preset("m5.large")
+        result = DarwinGame(DarwinGameConfig(seed=0)).tune(
+            app, CloudEnvironment(vm, seed=0)
+        )
+        assert 0 <= result.best_index < app.space.size
+
+
+class TestTunerBudgetEdges:
+    @pytest.mark.parametrize(
+        "tuner_cls", [RandomSearch, BlissLike, ThompsonSamplingTuner,
+                      QuantileRegressionTuner]
+    )
+    def test_budget_of_one(self, tuner_cls):
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=0)
+        result = tuner_cls(seed=0).tune(app, env, budget=1)
+        assert 0 <= result.best_index < app.space.size
+        assert result.evaluations == 1
+
+    def test_budget_larger_than_space(self):
+        app = tiny_app(3)
+        env = CloudEnvironment(seed=0)
+        result = RandomSearch(seed=0).tune(app, env, budget=50)
+        assert 0 <= result.best_index < 3
+
+    def test_zero_budget_rejected(self):
+        app = tiny_app(3)
+        from repro.errors import TunerError
+
+        with pytest.raises(TunerError):
+            RandomSearch(seed=0).tune(app, CloudEnvironment(seed=0), budget=0)
+
+
+class TestIndexRangeRestriction:
+    def test_tournament_respects_index_range(self):
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=0)
+        lo, hi = 100, 600
+        result = DarwinGame(DarwinGameConfig(seed=0)).tune(
+            app, env, index_range=(lo, hi)
+        )
+        assert lo <= result.best_index < hi
+
+    def test_invalid_range_rejected(self):
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=0)
+        with pytest.raises(TournamentError):
+            DarwinGame(DarwinGameConfig(seed=0)).tune(app, env, index_range=(50, 50))
+        with pytest.raises(TournamentError):
+            DarwinGame(DarwinGameConfig(seed=0)).tune(
+                app, env, index_range=(0, app.space.size + 1)
+            )

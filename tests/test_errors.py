@@ -1,0 +1,35 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    CloudError,
+    IndexOutOfSpaceError,
+    ReproError,
+    SpaceError,
+    TournamentError,
+    TunerError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [SpaceError, CloudError, TournamentError, TunerError, CalibrationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_index_error_is_space_error(self):
+        assert issubclass(IndexOutOfSpaceError, SpaceError)
+
+    def test_index_error_payload(self):
+        err = IndexOutOfSpaceError(42, 10)
+        assert err.index == 42
+        assert err.size == 10
+        assert "42" in str(err)
+
+    def test_single_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise IndexOutOfSpaceError(1, 1)

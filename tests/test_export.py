@@ -1,0 +1,86 @@
+"""Tests for CSV export of figure data."""
+
+import csv
+
+import pytest
+
+from repro.apps import make_application
+from repro.experiments import run_fig1_left, run_fig2, run_vm_sweep
+from repro.experiments.export import (
+    export_fig1_left,
+    export_fig2,
+    export_vm_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_fig1_left(self, app, tmp_path):
+        result = run_fig1_left(app, n_configs=30, seed=0)
+        out = export_fig1_left(result, tmp_path / "fig1.csv")
+        rows = read_csv(out)
+        assert rows[0] == ["execution_time_s", "cumulative_percent"]
+        assert len(rows) == 31
+
+    def test_fig2(self, app, tmp_path):
+        result = run_fig2(app, n_configs=20, runs=20, seed=0)
+        out = export_fig2(result, tmp_path / "fig2.csv")
+        rows = read_csv(out)
+        assert len(rows) == 21
+        assert rows[0][-1] == "robust"
+
+    def test_vm_sweep(self, tmp_path):
+        result = run_vm_sweep(
+            "redis", scale="test", seed=0, vm_names=("m5.8xlarge",)
+        )
+        out = export_vm_sweep(result, tmp_path / "nested" / "fig15.csv")
+        rows = read_csv(out)
+        assert len(rows) == 2
+        assert rows[1][0] == "m5.8xlarge"
+
+    def test_parent_dirs_created(self, app, tmp_path):
+        result = run_fig1_left(app, n_configs=10, seed=0)
+        out = export_fig1_left(result, tmp_path / "a" / "b" / "c.csv")
+        assert out.exists()
+
+
+class TestNewStudyExports:
+    def test_export_statistical(self, tmp_path):
+        from repro.experiments.export import export_statistical
+        from repro.experiments.statistical import run_statistical_comparison
+
+        result = run_statistical_comparison(("redis",), scale="test", repeats=1)
+        path = export_statistical(result, tmp_path / "stat.csv")
+        rows = path.read_text().splitlines()
+        assert rows[0].startswith("app,strategy")
+        assert len(rows) == 1 + len(result.rows)
+
+    def test_export_format_power(self, tmp_path):
+        from repro.experiments.export import export_format_power
+        from repro.experiments.format_power import run_format_power
+
+        result = run_format_power(n_players=6, noise_levels=(0.2,), trials=10)
+        path = export_format_power(result, tmp_path / "fmt.csv")
+        rows = path.read_text().splitlines()
+        assert len(rows) == 1 + len(result.rows)
+
+    def test_export_shift_study(self, tmp_path):
+        from repro.experiments.export import export_shift_study
+        from repro.experiments.shift_study import run_shift_study
+
+        result = run_shift_study(
+            "redis", strategies=("DarwinGame",), shifts=(0.0, 0.5),
+            scale="test", eval_runs=20,
+        )
+        path = export_shift_study(result, tmp_path / "shift.csv")
+        rows = path.read_text().splitlines()
+        assert len(rows) == 1 + len(result.rows)

@@ -1,0 +1,80 @@
+"""Tests for bounded-parallelism fleet scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.fleet import FleetSchedule, fleet_tradeoff, schedule_lpt
+from repro.errors import CloudError
+
+
+class TestLPT:
+    def test_single_vm_serialises(self):
+        schedule = schedule_lpt([10.0, 20.0, 30.0], 1)
+        assert schedule.makespan == 60.0
+        assert schedule.utilisation == 1.0
+
+    def test_enough_vms_parallelises_fully(self):
+        schedule = schedule_lpt([10.0, 20.0, 30.0], 3)
+        assert schedule.makespan == 30.0
+
+    def test_extra_vms_do_not_help(self):
+        schedule = schedule_lpt([10.0, 20.0, 30.0], 10)
+        assert schedule.makespan == 30.0
+        assert schedule.utilisation < 1.0
+
+    def test_classic_balancing(self):
+        # Jobs 7,6,5,4,3 on 2 machines: LPT yields 14 (7+4+3 / 6+5) while
+        # the optimum is 13 — the textbook example of LPT's approximation.
+        schedule = schedule_lpt([7, 6, 5, 4, 3], 2)
+        assert schedule.makespan == 14.0
+
+    def test_empty_jobs(self):
+        schedule = schedule_lpt([], 4)
+        assert schedule.makespan == 0.0
+        assert schedule.total_work == 0.0
+
+    def test_every_job_assigned_once(self):
+        schedule = schedule_lpt([5.0] * 17, 4)
+        assigned = [j for vm in schedule.assignments for j in vm]
+        assert sorted(assigned) == list(range(17))
+
+    def test_rejects_bad_fleet(self):
+        with pytest.raises(CloudError):
+            schedule_lpt([1.0], 0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(CloudError):
+            schedule_lpt([-1.0], 2)
+
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=40),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lpt_invariants(self, jobs, n_vms):
+        schedule = schedule_lpt(jobs, n_vms)
+        # Makespan bounds: work conservation and the longest job.
+        assert schedule.makespan >= max(jobs) - 1e-9
+        assert schedule.makespan >= sum(jobs) / n_vms - 1e-9
+        # LPT's 4/3 guarantee against the trivial lower bound.
+        lower = max(max(jobs), sum(jobs) / n_vms)
+        assert schedule.makespan <= (4.0 / 3.0) * lower + max(jobs)
+        assert schedule.total_work == pytest.approx(sum(jobs))
+
+
+class TestTradeoff:
+    def test_monotone_wall_clock(self):
+        rng = np.random.default_rng(0)
+        jobs = rng.uniform(10, 500, 60)
+        points = fleet_tradeoff(jobs, [1, 2, 4, 8, 16])
+        walls = [p.wall_clock for p in points]
+        assert walls == sorted(walls, reverse=True)
+
+    def test_utilisation_degrades_with_fleet(self):
+        jobs = [100.0] * 8
+        points = fleet_tradeoff(jobs, [1, 8, 64])
+        utils = [p.utilisation for p in points]
+        assert utils[0] == 1.0
+        assert utils[-1] < utils[0]

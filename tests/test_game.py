@@ -1,0 +1,89 @@
+"""Unit tests for playing a single game."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.game import execution_scores_from_work, play_game
+from repro.core.records import RecordBook
+from repro.errors import TournamentError
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+class TestExecutionScores:
+    def test_relative_to_fastest(self):
+        scores = execution_scores_from_work([0.5, 1.0, 0.25])
+        assert scores.tolist() == [0.5, 1.0, 0.25]
+
+    def test_normalised_to_leader(self):
+        scores = execution_scores_from_work([0.4, 0.2])
+        assert scores.tolist() == [1.0, 0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TournamentError):
+            execution_scores_from_work([])
+
+    def test_no_progress_rejected(self):
+        with pytest.raises(TournamentError):
+            execution_scores_from_work([0.0, 0.0])
+
+
+class TestPlayGame:
+    def test_game_records_scores(self, app):
+        env = CloudEnvironment(seed=0)
+        records = RecordBook()
+        players = [int(i) for i in app.space.sample_indices(8, seed=1, replace=False)]
+        report = play_game(env, app, players, DarwinGameConfig(), records)
+        assert report.winner_index in players
+        assert max(report.execution_scores) == pytest.approx(1.0)
+        assert all(records.get(p).games_played == 1 for p in players)
+
+    def test_duplicate_players_rejected(self, app):
+        env = CloudEnvironment(seed=0)
+        with pytest.raises(TournamentError):
+            play_game(env, app, [1, 1], DarwinGameConfig(), RecordBook())
+
+    def test_empty_game_rejected(self, app):
+        env = CloudEnvironment(seed=0)
+        with pytest.raises(TournamentError):
+            play_game(env, app, [], DarwinGameConfig(), RecordBook())
+
+    def test_early_termination_override(self, app):
+        """Playoffs-style games must run to completion."""
+        env = CloudEnvironment(seed=0)
+        records = RecordBook()
+        # A fast and a very slow player would normally early-terminate.
+        idx = np.arange(app.space.size)
+        times = app.true_time(idx)
+        fast, slow = int(np.argmin(times)), int(np.argmax(times))
+        report = play_game(
+            env, app, [fast, slow], DarwinGameConfig(), records,
+            allow_early_termination=False,
+        )
+        assert not report.outcome.early_terminated
+        assert max(report.outcome.work) == pytest.approx(1.0, abs=1e-6)
+
+    def test_clock_advance_flag(self, app):
+        env = CloudEnvironment(seed=0)
+        play_game(env, app, [0, 1], DarwinGameConfig(), RecordBook(),
+                  advance_clock=False)
+        assert env.now == 0.0
+        play_game(env, app, [0, 1], DarwinGameConfig(), RecordBook(),
+                  advance_clock=True)
+        assert env.now > 0.0
+
+    def test_config_early_termination_flag(self, app):
+        env = CloudEnvironment(seed=0)
+        records = RecordBook()
+        idx = np.arange(app.space.size)
+        times = app.true_time(idx)
+        fast, slow = int(np.argmin(times)), int(np.argmax(times))
+        cfg = DarwinGameConfig(early_termination=False)
+        report = play_game(env, app, [fast, slow], cfg, records)
+        assert not report.outcome.early_terminated

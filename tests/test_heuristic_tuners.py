@@ -1,0 +1,104 @@
+"""Unit tests for the heuristic baselines (genetic algorithm, annealing)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.tuners import GeneticTuner, SimulatedAnnealingTuner
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+class TestGeneticTuner:
+    def test_respects_budget(self, app):
+        result = GeneticTuner(seed=0).tune(app, CloudEnvironment(seed=0), budget=100)
+        assert result.evaluations <= 100
+        assert 0 <= result.best_index < app.space.size
+
+    def test_deterministic(self, app):
+        a = GeneticTuner(seed=4).tune(app, CloudEnvironment(seed=2), budget=80)
+        b = GeneticTuner(seed=4).tune(app, CloudEnvironment(seed=2), budget=80)
+        assert a.best_index == b.best_index
+
+    def test_improves_over_generations(self, app):
+        """With a real budget the pick must land well below the space median."""
+        median = float(np.median(app.true_time(np.arange(app.space.size))))
+        hits = 0
+        for seed in range(5):
+            result = GeneticTuner(seed=seed).tune(
+                app, CloudEnvironment(seed=seed), budget=200
+            )
+            t = float(app.true_time(np.array([result.best_index]))[0])
+            hits += t < median
+        assert hits >= 4
+
+    def test_details(self, app):
+        result = GeneticTuner(seed=0).tune(app, CloudEnvironment(seed=0), budget=100)
+        assert result.details["generations"] >= 1
+        assert len(result.details["observed_indices"]) == result.evaluations
+
+    def test_tiny_budget(self, app):
+        result = GeneticTuner(seed=0).tune(app, CloudEnvironment(seed=0), budget=5)
+        assert result.evaluations <= 5
+
+    def test_validation(self):
+        with pytest.raises(TunerError):
+            GeneticTuner(population=2)
+        with pytest.raises(TunerError):
+            GeneticTuner(mutation_rate=1.5)
+
+
+class TestSimulatedAnnealingTuner:
+    def test_respects_budget(self, app):
+        result = SimulatedAnnealingTuner(seed=0).tune(
+            app, CloudEnvironment(seed=0), budget=100
+        )
+        assert result.evaluations <= 100
+        assert 0 <= result.best_index < app.space.size
+
+    def test_deterministic(self, app):
+        a = SimulatedAnnealingTuner(seed=3).tune(app, CloudEnvironment(seed=1), budget=80)
+        b = SimulatedAnnealingTuner(seed=3).tune(app, CloudEnvironment(seed=1), budget=80)
+        assert a.best_index == b.best_index
+
+    def test_descends(self, app):
+        median = float(np.median(app.true_time(np.arange(app.space.size))))
+        hits = 0
+        for seed in range(5):
+            result = SimulatedAnnealingTuner(seed=seed).tune(
+                app, CloudEnvironment(seed=seed), budget=250
+            )
+            t = float(app.true_time(np.array([result.best_index]))[0])
+            hits += t < median
+        assert hits >= 4
+
+    def test_cooling_reported(self, app):
+        result = SimulatedAnnealingTuner(seed=0).tune(
+            app, CloudEnvironment(seed=0), budget=120
+        )
+        assert result.details["final_temperature"] >= 0.0
+        assert result.details["accepted"] >= 1
+
+    def test_validation(self):
+        with pytest.raises(TunerError):
+            SimulatedAnnealingTuner(initial_temperature=0.0)
+        with pytest.raises(TunerError):
+            SimulatedAnnealingTuner(cooling=1.0)
+
+
+class TestHybridCompatibility:
+    """Both heuristics expose observations, so Sec. 3.6 integration works."""
+
+    @pytest.mark.parametrize("tuner_cls", [GeneticTuner, SimulatedAnnealingTuner])
+    def test_integrates_with_darwingame(self, app, tuner_cls):
+        from repro.tuners import HybridTuner
+
+        hybrid = HybridTuner(tuner_cls(seed=0), n_subspaces=8,
+                             subspace_visits=2, seed=0)
+        result = hybrid.tune(app, CloudEnvironment(seed=0))
+        assert 0 <= result.best_index < app.space.size

@@ -1,0 +1,108 @@
+"""Integration tests for the HybridTuner (Sec. 3.6)."""
+
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.errors import TunerError
+from repro.space.subspaces import split_subspaces, subspace_of
+from repro.tuners import ActiveHarmonyLike, BlissLike, HybridTuner, RandomSearch
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+def hybrid(base_cls, seed=0, **kwargs):
+    return HybridTuner(
+        base_cls(seed=seed),
+        DarwinGameConfig(seed=seed, n_regions=8),
+        n_subspaces=8,
+        subspace_visits=2,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestHybrid:
+    def test_name(self, app):
+        assert hybrid(BlissLike).name == "BLISS+DarwinGame"
+        assert hybrid(ActiveHarmonyLike).name == "ActiveHarmony+DarwinGame"
+
+    def test_produces_valid_result(self, app):
+        env = CloudEnvironment(seed=0)
+        result = hybrid(BlissLike).tune(app, env, budget=150)
+        assert 0 <= result.best_index < app.space.size
+        assert result.core_hours > 0
+
+    def test_winner_comes_from_a_visited_subspace(self, app):
+        env = CloudEnvironment(seed=0)
+        result = hybrid(RandomSearch, seed=2).tune(app, env, budget=150)
+        subs = split_subspaces(app.space, 8)
+        winner_sub = subspace_of(subs, result.best_index).subspace_id
+        assert winner_sub in result.details["subspaces_visited"]
+
+    def test_subspace_winners_recorded(self, app):
+        env = CloudEnvironment(seed=0)
+        result = hybrid(RandomSearch, seed=2).tune(app, env, budget=150)
+        winners = result.details["subspace_winners"]
+        assert len(winners) == 2
+        assert result.best_index in winners
+
+    def test_deterministic(self, app):
+        a = hybrid(BlissLike, seed=4).tune(app, CloudEnvironment(seed=4), budget=120)
+        b = hybrid(BlissLike, seed=4).tune(app, CloudEnvironment(seed=4), budget=120)
+        assert a.best_index == b.best_index
+
+    def test_improves_over_base_on_average(self, app):
+        """Fig. 13: the integration reduces execution time vs the base tuner."""
+        base_means, hybrid_means = [], []
+        for seed in range(3):
+            env = CloudEnvironment(seed=seed)
+            base_result = BlissLike(seed=seed).tune(app, env)
+            base_means.append(
+                env.measure_choice(app, base_result.best_index).mean_time
+            )
+            env = CloudEnvironment(seed=seed)
+            hybrid_result = hybrid(BlissLike, seed=seed).tune(app, env)
+            hybrid_means.append(
+                env.measure_choice(app, hybrid_result.best_index).mean_time
+            )
+        assert sum(hybrid_means) < sum(base_means)
+
+    def test_validation(self):
+        with pytest.raises(TunerError):
+            HybridTuner(BlissLike(), explore_fraction=0.0)
+        with pytest.raises(TunerError):
+            HybridTuner(BlissLike(), subspace_visits=0)
+
+
+class TestStatisticalBasesIntegrate:
+    """The Sec. 3.6 integration also accepts the Sec. 3.2 statistical tuners."""
+
+    def test_thompson_plus_darwingame(self):
+        from repro.apps import make_application
+        from repro.cloud.environment import CloudEnvironment
+        from repro.tuners import HybridTuner, ThompsonSamplingTuner
+
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=0)
+        hybrid = HybridTuner(ThompsonSamplingTuner(seed=0), n_subspaces=8,
+                             subspace_visits=2, seed=0)
+        result = hybrid.tune(app, env)
+        assert 0 <= result.best_index < app.space.size
+        assert result.tuner_name == "ThompsonSampling+DarwinGame"
+
+    def test_quantile_regression_plus_darwingame(self):
+        from repro.apps import make_application
+        from repro.cloud.environment import CloudEnvironment
+        from repro.tuners import HybridTuner, QuantileRegressionTuner
+
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=1)
+        hybrid = HybridTuner(QuantileRegressionTuner(seed=1), n_subspaces=8,
+                             subspace_visits=2, seed=1)
+        result = hybrid.tune(app, env)
+        assert 0 <= result.best_index < app.space.size

@@ -1,0 +1,81 @@
+"""Tests for the parameter-importance (main-effects) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.importance import main_effects
+from repro.apps import make_application
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="bench")
+
+
+@pytest.fixture(scope="module")
+def report(app):
+    return main_effects(app, n=4000, seed=0)
+
+
+class TestMainEffects:
+    def test_one_entry_per_parameter(self, app, report):
+        assert len(report.parameters) == app.space.dimension
+
+    def test_importances_are_fractions(self, report):
+        for p in report.parameters:
+            assert 0.0 <= p.importance <= 1.0
+
+    def test_major_parameters_dominate(self, app, report):
+        """The surfaces put needle effects on the leading parameters; the
+        decomposition must recover that structure."""
+        ranked = report.ranked()
+        major_names = {p.name for p in app.space.parameters[:3]}
+        top3 = {p.name for p in ranked[:3]}
+        assert len(top3 & major_names) >= 2
+
+    def test_best_level_minimises_mean(self, report):
+        for p in report.parameters:
+            means = np.array(p.level_means)
+            assert p.level_means[p.best_level] == np.nanmin(means)
+
+    def test_named_lookup(self, app, report):
+        first = app.space.parameters[0].name
+        assert report.parameter(first).dimension == 0
+        with pytest.raises(KeyError):
+            report.parameter("nope")
+
+    def test_render(self, report):
+        text = report.render(top=5)
+        assert "Main-effect importance" in text
+        assert text.count("%") >= 5
+
+    def test_sensitivity_response(self, app):
+        rep = main_effects(app, response="sensitivity", n=2000, seed=1)
+        assert all(0.0 <= p.importance <= 1.0 for p in rep.parameters)
+
+    def test_custom_response(self, app):
+        rep = main_effects(
+            app, response="custom", n=500, seed=2,
+            observe=lambda idx: np.asarray(idx, dtype=float) % 7,
+        )
+        assert rep.response == "custom"
+
+    def test_custom_requires_callable(self, app):
+        with pytest.raises(ReproError):
+            main_effects(app, response="custom")
+
+    def test_unknown_response(self, app):
+        with pytest.raises(ReproError):
+            main_effects(app, response="latency")
+
+    def test_tiny_sample_rejected(self, app):
+        with pytest.raises(ReproError):
+            main_effects(app, n=10)
+
+    def test_deterministic(self, app):
+        a = main_effects(app, n=500, seed=5)
+        b = main_effects(app, n=500, seed=5)
+        assert [p.importance for p in a.parameters] == [
+            p.importance for p in b.parameters
+        ]

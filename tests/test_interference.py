@@ -1,0 +1,128 @@
+"""Unit tests for the interference process."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.interference import InterferenceProcess
+from repro.cloud.vm import PRESETS, make_profile
+from repro.errors import CloudError
+from repro.rng import ensure_rng
+
+
+def process(seed=0, vm="m5.8xlarge"):
+    return InterferenceProcess(PRESETS[vm].interference, seed)
+
+
+class TestEpochMean:
+    def test_deterministic_given_seed(self):
+        ts = np.linspace(0, 10 * 86400, 200)
+        a = process(seed=1).epoch_mean(ts)
+        b = process(seed=1).epoch_mean(ts)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        ts = np.linspace(0, 10 * 86400, 200)
+        assert not np.array_equal(process(seed=1).epoch_mean(ts), process(seed=2).epoch_mean(ts))
+
+    def test_nonnegative(self):
+        ts = np.linspace(0, 30 * 86400, 5000)
+        assert process().epoch_mean(ts).min() > 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(CloudError):
+            process().epoch_mean(-1.0)
+
+    def test_query_order_does_not_change_values(self):
+        """The lazily extended walk must not depend on query order."""
+        p1 = process(seed=5)
+        late_first = p1.epoch_mean(20 * 86400.0)
+        p2 = process(seed=5)
+        p2.epoch_mean(86400.0)  # query an early time first
+        late_second = p2.epoch_mean(20 * 86400.0)
+        assert np.array_equal(late_first, late_second)
+
+    def test_diurnal_cycle_visible(self):
+        """A day of samples should swing by roughly the diurnal amplitude."""
+        p = process(seed=3)
+        ts = np.linspace(0, 86400, 500)
+        levels = p.epoch_mean(ts)
+        swing = levels.max() - levels.min()
+        assert swing > 0.5 * p.profile.diurnal_amplitude
+
+    def test_bounded_over_long_horizon(self):
+        """The AR(1) walk must not wander off over months."""
+        p = process(seed=4)
+        ts = np.linspace(0, 120 * 86400, 20000)
+        levels = p.epoch_mean(ts)
+        assert levels.max() < 10 * p.profile.mean_level
+
+
+class TestRunMeans:
+    def test_shape_broadcast(self):
+        p = process()
+        out = p.sample_run_means(np.zeros(10), 300.0, ensure_rng(0))
+        assert out.shape == (10,)
+
+    def test_nonnegative(self):
+        p = process()
+        out = p.sample_run_means(np.zeros(5000), 300.0, ensure_rng(0))
+        assert out.min() > 0
+
+    def test_longer_runs_average_out_noise(self):
+        p = process(seed=2)
+        short = p.sample_run_means(np.zeros(4000), 30.0, ensure_rng(1))
+        long = p.sample_run_means(np.zeros(4000), 3000.0, ensure_rng(1))
+        assert long.std() < short.std()
+
+    def test_mean_tracks_profile(self):
+        p = process(seed=6)
+        ts = np.linspace(0, 40 * 86400, 8000)
+        levels = p.sample_run_means(ts, 300.0, ensure_rng(2))
+        assert abs(levels.mean() - p.profile.mean_level) < 0.5 * p.profile.mean_level
+
+    def test_invalid_duration(self):
+        with pytest.raises(CloudError):
+            process().sample_run_means(0.0, 0.0, ensure_rng(0))
+
+
+class TestTrajectory:
+    def test_shape(self):
+        traj = process().sample_trajectory(0.0, 600.0, 64, ensure_rng(0))
+        assert traj.shape == (64,)
+
+    def test_nonnegative(self):
+        traj = process().sample_trajectory(0.0, 6000.0, 256, ensure_rng(0))
+        assert traj.min() > 0
+
+    def test_invalid_segments(self):
+        with pytest.raises(CloudError):
+            process().sample_trajectory(0.0, 100.0, 0, ensure_rng(0))
+
+    def test_invalid_duration(self):
+        with pytest.raises(CloudError):
+            process().sample_trajectory(0.0, -5.0, 10, ensure_rng(0))
+
+    def test_temporal_correlation(self):
+        """Adjacent segments should correlate more than distant ones."""
+        rng = ensure_rng(3)
+        p = process(seed=7)
+        trajs = np.stack(
+            [p.sample_trajectory(0.0, 600.0, 100, rng) for _ in range(200)]
+        )
+        adjacent = np.corrcoef(trajs[:, 10], trajs[:, 11])[0, 1]
+        distant = np.corrcoef(trajs[:, 10], trajs[:, 90])[0, 1]
+        assert adjacent > distant
+
+
+class TestVMScaling:
+    def test_smaller_vms_noisier(self):
+        small = PRESETS["m5.large"].interference
+        big = PRESETS["m5.24xlarge"].interference
+        assert small.mean_level > big.mean_level
+        assert small.fast_std > big.fast_std
+
+    def test_family_traits(self):
+        compute = make_profile(36, "compute")
+        storage = make_profile(36, "storage")
+        assert storage.burst_rate > compute.burst_rate
+        assert storage.mean_level > compute.mean_level

@@ -1,0 +1,40 @@
+"""The documented public API must stay importable from the package root."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_surface(self):
+        """The README quickstart symbols."""
+        for name in (
+            "CloudEnvironment",
+            "DarwinGame",
+            "DarwinGameConfig",
+            "VMSpec",
+            "make_application",
+        ):
+            assert name in repro.__all__
+
+    def test_baselines_exported(self):
+        for name in (
+            "ActiveHarmonyLike",
+            "BlissLike",
+            "ExhaustiveSearch",
+            "HybridTuner",
+            "OpenTunerLike",
+            "RandomSearch",
+        ):
+            assert name in repro.__all__
+
+    def test_docstrings_on_public_classes(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"

@@ -1,0 +1,101 @@
+"""Unit tests for tournament score bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import PlayerRecord, RecordBook
+from repro.errors import TournamentError
+
+
+class TestPlayerRecord:
+    def test_defaults(self):
+        r = PlayerRecord(index=7)
+        assert r.games_played == 0
+        assert r.mean_execution_score == 0.0
+        assert r.consistency_score == 0.0
+
+    def test_mean_execution_score(self):
+        r = PlayerRecord(index=0, execution_scores=[1.0, 0.5])
+        assert r.mean_execution_score == pytest.approx(0.75)
+
+    def test_consistency_score_is_mean_inverse_rank(self):
+        r = PlayerRecord(index=0, inverse_ranks=[1.0, 0.5, 0.25])
+        assert r.consistency_score == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+
+class TestRecordBook:
+    def test_get_creates(self):
+        book = RecordBook()
+        record = book.get(5)
+        assert record.index == 5
+        assert 5 in book
+        assert len(book) == 1
+
+    def test_record_game_scores_and_ranks(self):
+        book = RecordBook()
+        winner = book.record_game([10, 20, 30], [1.0, 0.8, 0.4])
+        assert winner == 0
+        assert book.get(10).inverse_ranks == [1.0]
+        assert book.get(20).inverse_ranks == [0.5]
+        assert book.get(30).inverse_ranks == [pytest.approx(1 / 3)]
+        assert book.get(10).wins == 1
+        assert book.get(20).wins == 0
+
+    def test_consistency_across_games(self):
+        book = RecordBook()
+        book.record_game([1, 2], [1.0, 0.9])   # 1 ranks 1st
+        book.record_game([1, 2], [0.7, 1.0])   # 1 ranks 2nd
+        assert book.get(1).consistency_score == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_total_evaluations(self):
+        book = RecordBook()
+        book.record_game([1, 2, 3], [1.0, 0.9, 0.8])
+        book.record_game([1, 2], [1.0, 0.9])
+        assert book.total_evaluations == 5
+
+    def test_empty_game_rejected(self):
+        with pytest.raises(TournamentError):
+            RecordBook().record_game([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TournamentError):
+            RecordBook().record_game([1], [1.0, 0.5])
+
+    def test_score_vectors(self):
+        book = RecordBook()
+        book.record_game([1, 2], [1.0, 0.5])
+        assert np.allclose(book.mean_execution_scores([1, 2]), [1.0, 0.5])
+        assert np.allclose(book.consistency_scores([1, 2]), [1.0, 0.5])
+
+
+class TestCombinedRanking:
+    def test_joint_winner(self):
+        """Winner = lowest sum of execution and consistency rank (Fig. 7)."""
+        book = RecordBook()
+        # Player 1: always strong.  Player 2: spiky.  Player 3: weak.
+        book.record_game([1, 2, 3], [1.0, 0.95, 0.5])
+        book.record_game([1, 2, 3], [1.0, 0.6, 0.55])
+        order = book.combined_rank_order([1, 2, 3])
+        assert order[0] == 0  # player 1 first
+
+    def test_consistency_breaks_execution_ties(self):
+        book = RecordBook()
+        book.record_game([1, 2], [1.0, 1.0])  # tied game
+        book.record_game([1, 3], [1.0, 0.2])
+        book.record_game([2, 3], [0.5, 1.0])  # player 2 loses one
+        order = book.combined_rank_order([1, 2])
+        assert [1, 2][order[0]] == 1
+
+    def test_requires_a_score(self):
+        book = RecordBook()
+        book.record_game([1, 2], [1.0, 0.5])
+        with pytest.raises(TournamentError):
+            book.combined_rank_order([1, 2], use_execution=False, use_consistency=False)
+
+    def test_single_score_modes(self):
+        book = RecordBook()
+        book.record_game([1, 2], [1.0, 0.5])
+        exec_only = book.combined_rank_order([1, 2], use_consistency=False)
+        cons_only = book.combined_rank_order([1, 2], use_execution=False)
+        assert exec_only[0] == 0
+        assert cons_only[0] == 0

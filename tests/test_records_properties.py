@@ -1,0 +1,102 @@
+"""Property-based tests for tournament score bookkeeping (Figs. 5 and 7)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import RecordBook
+
+
+@st.composite
+def game_histories(draw):
+    """A sequence of games over a small player population."""
+    n_players = draw(st.integers(2, 10))
+    n_games = draw(st.integers(1, 8))
+    games = []
+    for _ in range(n_games):
+        k = draw(st.integers(2, n_players))
+        players = draw(
+            st.lists(
+                st.integers(0, n_players - 1),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        scores = [draw(st.floats(0.01, 1.0)) for _ in players]
+        # Execution scores are normalised to the game's best (Fig. 5).
+        best = max(scores)
+        games.append((players, [s / best for s in scores]))
+    return games
+
+
+class TestRecordBookProperties:
+    @given(game_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_consistency_score_bounded(self, games):
+        """1/rank lies in (0, 1], so its average must too."""
+        book = RecordBook()
+        for players, scores in games:
+            book.record_game(players, scores)
+        for players, _ in games:
+            for p in players:
+                assert 0.0 < book.get(p).consistency_score <= 1.0
+
+    @given(game_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_total_evaluations_counts_seats(self, games):
+        book = RecordBook()
+        for players, scores in games:
+            book.record_game(players, scores)
+        assert book.total_evaluations == sum(len(p) for p, _ in games)
+
+    @given(game_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_wins_sum_to_games(self, games):
+        book = RecordBook()
+        for players, scores in games:
+            book.record_game(players, scores)
+        all_players = {p for players, _ in games for p in players}
+        assert sum(book.get(p).wins for p in all_players) == len(games)
+
+    @given(game_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_winner_has_top_execution_score(self, games):
+        book = RecordBook()
+        for players, scores in games:
+            pos = book.record_game(players, scores)
+            assert scores[pos] == max(scores)
+
+    @given(game_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_games_played_matches_appearances(self, games):
+        book = RecordBook()
+        appearances: dict = {}
+        for players, scores in games:
+            book.record_game(players, scores)
+            for p in players:
+                appearances[p] = appearances.get(p, 0) + 1
+        for p, n in appearances.items():
+            assert book.get(p).games_played == n
+
+    @given(game_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_combined_rank_order_is_permutation(self, games):
+        book = RecordBook()
+        seen: set = set()
+        for players, scores in games:
+            book.record_game(players, scores)
+            seen.update(players)
+        pool = sorted(seen)
+        order = book.combined_rank_order(pool)
+        assert sorted(order.tolist()) == list(range(len(pool)))
+
+    @given(game_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_player_ranks_first(self, games):
+        """A player that won every game with score 1.0 must lead the order."""
+        book = RecordBook()
+        hero = 999  # distinct from the generated population (0-9)
+        for players, scores in games:
+            book.record_game(list(players) + [hero], list(scores) + [1.0001])
+        pool = sorted({p for players, _ in games for p in players} | {hero})
+        order = book.combined_rank_order(pool)
+        assert pool[int(order[0])] == hero

@@ -1,0 +1,49 @@
+"""Tests for text-table rendering."""
+
+from repro.experiments.reporting import _fmt, paper_vs_measured, render_table
+
+
+class TestFormat:
+    def test_bool(self):
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == "no"
+
+    def test_large_float_commas(self):
+        assert _fmt(1234567.0) == "1,234,567"
+
+    def test_medium_float_one_decimal(self):
+        assert _fmt(42.123) == "42.1"
+
+    def test_small_float_two_decimals(self):
+        assert _fmt(0.456) == "0.46"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert _fmt("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long-header"], [["x", 1.0]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_title_first(self):
+        text = render_table(["h"], [["v"]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_empty_rows(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestPaperVsMeasured:
+    def test_ok(self):
+        assert paper_vs_measured("x", "1", "1.1", True).startswith("[OK ]")
+
+    def test_diff(self):
+        line = paper_vs_measured("claim", "a", "b", False)
+        assert line.startswith("[DIFF]")
+        assert "paper=a" in line and "measured=b" in line

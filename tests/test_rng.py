@@ -1,0 +1,49 @@
+"""Unit tests for seed/generator plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import child, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_of_each_other(self):
+        a, b = spawn(ensure_rng(0), 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_deterministic(self):
+        a1, b1 = spawn(ensure_rng(3), 2)
+        a2, b2 = spawn(ensure_rng(3), 2)
+        assert np.array_equal(a1.random(10), a2.random(10))
+        assert np.array_equal(b1.random(10), b2.random(10))
+
+    def test_spawn_zero(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_child(self):
+        c = child(ensure_rng(5))
+        assert isinstance(c, np.random.Generator)
+
+    def test_spawning_advances_parent_state(self):
+        rng = ensure_rng(9)
+        first = spawn(rng, 1)[0]
+        second = spawn(rng, 1)[0]
+        assert not np.array_equal(first.random(10), second.random(10))

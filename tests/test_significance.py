@@ -1,0 +1,86 @@
+"""Tests for the statistical-comparison helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.significance import (
+    bootstrap_mean_diff,
+    cliffs_delta,
+    mann_whitney,
+)
+from repro.errors import ReproError
+
+
+class TestCliffsDelta:
+    def test_fully_separated(self):
+        assert cliffs_delta([1, 2, 3], [10, 11, 12]) == -1.0
+        assert cliffs_delta([10, 11, 12], [1, 2, 3]) == 1.0
+
+    def test_identical(self):
+        assert cliffs_delta([5, 5, 5], [5, 5, 5]) == 0.0
+
+    def test_symmetric(self):
+        a, b = [1.0, 4.0, 2.0], [3.0, 0.5]
+        assert cliffs_delta(a, b) == -cliffs_delta(b, a)
+
+    @given(
+        st.lists(st.floats(0, 100), min_size=2, max_size=20),
+        st.lists(st.floats(0, 100), min_size=2, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, a, b):
+        assert -1.0 <= cliffs_delta(a, b) <= 1.0
+
+
+class TestMannWhitney:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(0)
+        fast = rng.normal(100, 5, 40)
+        slow = rng.normal(200, 5, 40)
+        result = mann_whitney(fast, slow)
+        assert result.significant
+        assert result.a_is_lower
+        assert result.effect_size == pytest.approx(-1.0)
+
+    def test_no_difference(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(100, 5, 40)
+        b = rng.normal(100, 5, 40)
+        result = mann_whitney(a, b)
+        assert not result.significant
+
+    def test_identical_constants(self):
+        result = mann_whitney([5.0, 5.0], [5.0, 5.0])
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ReproError):
+            mann_whitney([1.0], [2.0, 3.0])
+
+
+class TestBootstrap:
+    def test_ci_brackets_true_difference(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(100, 5, 60)
+        b = rng.normal(110, 5, 60)
+        lo, hi = bootstrap_mean_diff(a, b, seed=0)
+        assert lo < -5 < hi or (lo < -10 and hi < 0)
+        assert lo < hi
+
+    def test_zero_difference_ci_contains_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(100, 5, 60)
+        b = rng.normal(100, 5, 60)
+        lo, hi = bootstrap_mean_diff(a, b, seed=0)
+        assert lo < 0 < hi
+
+    def test_deterministic(self):
+        a, b = [1.0, 2.0, 3.0], [2.0, 3.0, 4.0]
+        assert bootstrap_mean_diff(a, b, seed=7) == bootstrap_mean_diff(a, b, seed=7)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ReproError):
+            bootstrap_mean_diff([1.0, 2.0], [3.0, 4.0], confidence=1.5)

@@ -1,0 +1,62 @@
+"""Unit tests for subspace splitting (tuner-integration substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpaceError
+from repro.space.parameters import categorical
+from repro.space.space import SearchSpace
+from repro.space.subspaces import Subspace, split_subspaces, subspace_of
+
+
+def space100():
+    return SearchSpace(
+        [categorical("a", list(range(10))), categorical("b", list(range(10)))]
+    )
+
+
+class TestSubspace:
+    def test_size_and_contains(self):
+        s = Subspace(0, 10, 30)
+        assert s.size == 20
+        assert 10 in s and 29 in s and 30 not in s
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpaceError):
+            Subspace(0, 10, 10)
+
+    def test_sample_within(self):
+        s = Subspace(0, 40, 60)
+        draws = s.sample(100, seed=0)
+        assert draws.min() >= 40 and draws.max() < 60
+
+
+class TestSplit:
+    def test_covers_space(self):
+        subs = split_subspaces(space100(), 7)
+        assert subs[0].start == 0
+        assert subs[-1].stop == 100
+        assert sum(s.size for s in subs) == 100
+
+    def test_contiguous(self):
+        subs = split_subspaces(space100(), 7)
+        for left, right in zip(subs, subs[1:]):
+            assert left.stop == right.start
+
+    def test_invalid_count(self):
+        with pytest.raises(SpaceError):
+            split_subspaces(space100(), 0)
+
+    def test_lookup(self):
+        subs = split_subspaces(space100(), 8)
+        for index in range(100):
+            assert index in subspace_of(subs, index)
+
+    def test_lookup_out_of_range(self):
+        subs = split_subspaces(space100(), 8)
+        with pytest.raises(SpaceError):
+            subspace_of(subs, 100)
+
+    def test_more_subspaces_than_points(self):
+        subs = split_subspaces(space100(), 1000)
+        assert len(subs) == 100

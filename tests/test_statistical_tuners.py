@@ -1,0 +1,191 @@
+"""Unit tests for the Sec. 3.2 statistical baselines.
+
+Quantile regression and Thompson sampling are the noise-handling methods the
+paper names as still-insufficient in the cloud; these tests check that our
+implementations are correct *as methods* (fitting, posteriors, budgets,
+determinism) — their comparative weakness is asserted end-to-end in
+``benchmarks/test_statistical_baselines.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.tuners.quantile_regression import (
+    QuantileRegressionTuner,
+    fit_pinball,
+    predict_pinball,
+)
+from repro.tuners.thompson import ArmPosterior, ThompsonSamplingTuner
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+class TestPinballFit:
+    def test_recovers_linear_relation(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(200, 3))
+        beta_true = np.array([2.0, -1.0, 0.5])
+        y = x @ beta_true + 4.0
+        beta = fit_pinball(x, y, tau=0.5)
+        np.testing.assert_allclose(beta[:3], beta_true, atol=1e-6)
+        assert beta[3] == pytest.approx(4.0, abs=1e-6)
+
+    def test_median_of_asymmetric_noise(self):
+        """tau=0.5 estimates the conditional median, not the mean."""
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(2000, 1))
+        noise = rng.exponential(1.0, size=2000)  # right-skewed
+        y = 3.0 * x[:, 0] + noise
+        beta = fit_pinball(x, y, tau=0.5)
+        # Intercept should be near median(exponential) = ln 2, far below mean 1.
+        assert beta[1] == pytest.approx(np.log(2.0), abs=0.1)
+
+    def test_tau_orders_intercepts(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(500, 2))
+        y = x.sum(axis=1) + rng.normal(0, 1, size=500)
+        lo = fit_pinball(x, y, tau=0.25)[2]
+        hi = fit_pinball(x, y, tau=0.75)[2]
+        assert lo < hi
+
+    def test_predict_matches_design(self):
+        beta = np.array([1.0, 2.0, 3.0])
+        x = np.array([[1.0, 1.0], [0.0, 0.0]])
+        np.testing.assert_allclose(predict_pinball(x, beta), [6.0, 3.0])
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(TunerError):
+            fit_pinball(np.ones((3, 1)), np.ones(3), tau=0.0)
+        with pytest.raises(TunerError):
+            fit_pinball(np.ones((3, 1)), np.ones(3), tau=1.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(TunerError):
+            fit_pinball(np.ones((3, 1)), np.ones(4), tau=0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TunerError):
+            fit_pinball(np.empty((0, 2)), np.empty(0), tau=0.5)
+
+
+class TestArmPosterior:
+    def test_mean_tracks_observations(self):
+        arm = ArmPosterior(m=100.0)
+        for _ in range(50):
+            arm.update(300.0)
+        assert arm.m == pytest.approx(300.0, rel=0.01)
+
+    def test_posterior_concentrates(self):
+        rng = np.random.default_rng(0)
+        arm = ArmPosterior(m=100.0)
+        for _ in range(200):
+            arm.update(float(rng.normal(250.0, 10.0)))
+        draws = [arm.sample_mean(rng) for _ in range(200)]
+        assert np.std(draws) < 5.0
+        assert np.mean(draws) == pytest.approx(250.0, abs=5.0)
+
+    def test_pull_count(self):
+        arm = ArmPosterior(m=1.0)
+        arm.update(2.0)
+        arm.update(3.0)
+        assert arm.pulls == 2
+        assert arm.times == [2.0, 3.0]
+
+    def test_rejects_nonpositive_time(self):
+        arm = ArmPosterior(m=1.0)
+        with pytest.raises(TunerError):
+            arm.update(0.0)
+
+
+class TestQuantileRegressionTuner:
+    def test_respects_budget(self, app):
+        env = CloudEnvironment(seed=0)
+        result = QuantileRegressionTuner(seed=0).tune(app, env, budget=80)
+        assert result.evaluations <= 80
+        assert 0 <= result.best_index < app.space.size
+
+    def test_deterministic(self, app):
+        a = QuantileRegressionTuner(seed=7).tune(app, CloudEnvironment(seed=3), budget=60)
+        b = QuantileRegressionTuner(seed=7).tune(app, CloudEnvironment(seed=3), budget=60)
+        assert a.best_index == b.best_index
+
+    def test_details_present(self, app):
+        result = QuantileRegressionTuner(seed=0).tune(app, CloudEnvironment(seed=0), budget=60)
+        assert result.details["tau"] == 0.25
+        assert result.details["refits"] >= 1
+
+    def test_better_than_single_random_sample(self, app):
+        """With a real budget the pick lands well below the space median."""
+        median = float(np.median(app.true_time(np.arange(app.space.size))))
+        hits = 0
+        for seed in range(5):
+            env = CloudEnvironment(seed=seed)
+            result = QuantileRegressionTuner(seed=seed).tune(app, env, budget=150)
+            t = float(app.true_time(np.array([result.best_index]))[0])
+            hits += t < median
+        assert hits >= 4
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(TunerError):
+            QuantileRegressionTuner(tau=1.5)
+
+    def test_core_hours_booked(self, app):
+        env = CloudEnvironment(seed=0)
+        result = QuantileRegressionTuner(seed=0).tune(app, env, budget=40)
+        assert result.core_hours > 0
+
+
+class TestThompsonSamplingTuner:
+    def test_respects_budget(self, app):
+        env = CloudEnvironment(seed=0)
+        result = ThompsonSamplingTuner(seed=0).tune(app, env, budget=90)
+        assert result.evaluations == 90
+        assert 0 <= result.best_index < app.space.size
+
+    def test_deterministic(self, app):
+        a = ThompsonSamplingTuner(seed=5).tune(app, CloudEnvironment(seed=2), budget=70)
+        b = ThompsonSamplingTuner(seed=5).tune(app, CloudEnvironment(seed=2), budget=70)
+        assert a.best_index == b.best_index
+
+    def test_arm_accounting(self, app):
+        result = ThompsonSamplingTuner(n_arms=8, seed=0).tune(
+            app, CloudEnvironment(seed=0), budget=60
+        )
+        pulls = result.details["arm_pulls"]
+        assert len(pulls) == 8
+        assert sum(pulls) == 60
+
+    def test_concentrates_pulls_on_good_arms(self, app):
+        """The posterior should route most pulls to below-median arms."""
+        result = ThompsonSamplingTuner(n_arms=8, seed=1).tune(
+            app, CloudEnvironment(seed=1), budget=200
+        )
+        pulls = np.array(result.details["arm_pulls"])
+        size = app.space.size
+        bounds = np.linspace(0, size, 9, dtype=np.int64)
+        arm_means = np.array([
+            float(np.mean(app.true_time(np.arange(bounds[i], bounds[i + 1]))))
+            for i in range(8)
+        ])
+        top_half = np.argsort(arm_means)[:4]
+        assert pulls[top_half].sum() > 0.5 * pulls.sum()
+
+    def test_best_in_starved_arm_falls_back(self, app):
+        """If the posterior-best arm has no observation, fall back globally."""
+        from repro.tuners.base import ObservationLog
+
+        log = ObservationLog()
+        log.add(5, 100.0)
+        bounds = np.array([0, 10, 20])
+        pick = ThompsonSamplingTuner._best_in_arm(log, bounds, arm_id=1)
+        assert pick == 5
+
+    def test_rejects_bad_arm_count(self):
+        with pytest.raises(TunerError):
+            ThompsonSamplingTuner(n_arms=0)

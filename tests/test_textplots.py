@@ -1,0 +1,134 @@
+"""Tests for the ASCII plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.textplots import (
+    cdf_plot,
+    hbar_chart,
+    scatter_plot,
+    series_plot,
+)
+from repro.errors import ReproError
+
+
+class TestHBar:
+    def test_renders_all_labels(self):
+        out = hbar_chart(["alpha", "beta"], [3.0, 1.0])
+        assert "alpha" in out and "beta" in out
+
+    def test_bars_proportional(self):
+        out = hbar_chart(["a", "b"], [4.0, 2.0], width=40)
+        rows = out.splitlines()
+        assert rows[0].count("#") == 2 * rows[1].count("#")
+
+    def test_title(self):
+        out = hbar_chart(["a"], [1.0], title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_zero_value_empty_bar(self):
+        out = hbar_chart(["a", "b"], [0.0, 5.0])
+        assert "0" in out
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ReproError):
+            hbar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            hbar_chart([], [])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            hbar_chart(["a"], [-1.0])
+
+
+class TestCDF:
+    def test_monotone_shape(self):
+        """Marks must never go down when scanning left to right."""
+        out = cdf_plot(np.random.default_rng(0).uniform(0, 1, 200), height=10)
+        rows = [line for line in out.splitlines() if "|" in line]
+        cols = len(rows[0].split("|")[1])
+        last = -1
+        for c in range(cols):
+            for r_i, row in enumerate(rows):
+                if row.split("|")[1][c] == "*":
+                    level = len(rows) - 1 - r_i
+                    assert level >= last - 1
+                    last = max(last, level)
+                    break
+
+    def test_axis_range_printed(self):
+        out = cdf_plot([10.0, 20.0, 30.0])
+        assert "10" in out and "30" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            cdf_plot([])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ReproError):
+            cdf_plot([1.0, 2.0], width=5)
+        with pytest.raises(ReproError):
+            cdf_plot([1.0, 2.0], height=2)
+
+    def test_constant_samples(self):
+        out = cdf_plot([5.0, 5.0, 5.0])
+        assert "*" in out
+
+
+class TestScatter:
+    def test_plots_points(self):
+        out = scatter_plot([1.0, 2.0, 3.0], [1.0, 4.0, 9.0])
+        assert out.count("*") >= 2
+
+    def test_highlight_uses_dense_char(self):
+        out = scatter_plot(
+            [1.0, 2.0], [1.0, 2.0], highlight=[False, True]
+        )
+        assert "@" in out and "*" in out
+
+    def test_labels(self):
+        out = scatter_plot([1.0, 2.0], [1.0, 2.0], x_label="cov", y_label="time")
+        assert "cov" in out and "time" in out
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ReproError):
+            scatter_plot([1.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            scatter_plot([1.0, 2.0], [1.0, 2.0], highlight=[True])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            scatter_plot([], [])
+
+
+class TestSeries:
+    def test_two_series_distinct_symbols(self):
+        out = series_plot(
+            [0.0, 1.0, 2.0],
+            {"darwin": [1.0, 1.1, 1.2], "bliss": [1.0, 2.0, 3.0]},
+        )
+        assert "D" in out and "B" in out
+        assert "D=darwin" in out and "B=bliss" in out
+
+    def test_symbol_collision_resolved(self):
+        out = series_plot(
+            [0.0, 1.0],
+            {"alpha": [1.0, 2.0], "avocado": [2.0, 1.0]},
+        )
+        legend = out.splitlines()[-1]
+        symbols = [part.split("=")[0] for part in legend.split()]
+        assert len(set(symbols)) == 2
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ReproError):
+            series_plot([1.0], {"a": [1.0]})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ReproError):
+            series_plot([1.0, 2.0], {"a": [1.0]})
+
+    def test_rejects_no_series(self):
+        with pytest.raises(ReproError):
+            series_plot([1.0, 2.0], {})

@@ -1,0 +1,121 @@
+"""Integration tests for the full DarwinGame tournament."""
+
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import ABLATION_NAMES, DarwinGameConfig
+from repro.core.tournament import DarwinGame
+from repro.errors import TournamentError
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+def tune(app, cfg=None, env_seed=0):
+    env = CloudEnvironment(seed=env_seed)
+    result = DarwinGame(cfg or DarwinGameConfig(seed=1)).tune(app, env)
+    return result, env
+
+
+class TestFullTournament:
+    def test_produces_valid_result(self, app):
+        result, env = tune(app)
+        assert 0 <= result.best_index < app.space.size
+        assert result.best_values == app.space.values_of(result.best_index)
+        assert result.core_hours > 0
+        assert result.tuning_seconds > 0
+        assert result.evaluations > 0
+
+    def test_details_structure(self, app):
+        result, _ = tune(app)
+        assert "regional" in result.details
+        assert "global" in result.details
+        assert "playoffs" in result.details
+        assert "phase_core_hours" in result.details
+        assert result.details["regional"]["regions"] > 1
+
+    def test_deterministic_given_seeds(self, app):
+        a, _ = tune(app, DarwinGameConfig(seed=5), env_seed=9)
+        b, _ = tune(app, DarwinGameConfig(seed=5), env_seed=9)
+        assert a.best_index == b.best_index
+        assert a.core_hours == pytest.approx(b.core_hours)
+
+    def test_finds_fast_configuration(self, app):
+        """The winner should be within the good cluster (< 2x optimal)."""
+        result, _ = tune(app)
+        gap = app.optimality_gap_percent(result.best_index)
+        assert gap < 50.0
+
+    def test_usually_finds_robust_configuration(self, app):
+        hits = 0
+        for seed in range(4):
+            result, _ = tune(app, DarwinGameConfig(seed=seed), env_seed=seed)
+            hits += bool(app.is_robust([result.best_index])[0])
+        assert hits >= 3
+
+    def test_core_hours_far_below_exhaustive(self, app):
+        """Tournament cost must be a small fraction of exhaustive sampling."""
+        result, env = tune(app)
+        mean_level = env.vm.interference.mean_level
+        import numpy as np
+
+        idx = np.arange(app.space.size)
+        exhaustive = env.vm.vcpus * float(
+            (app.true_time(idx) * (1 + app.sensitivity(idx) * mean_level)).sum()
+        ) / 3600.0
+        assert result.core_hours < 0.25 * exhaustive
+
+    def test_index_range_restriction(self, app):
+        span = (100, 1100)
+        env = CloudEnvironment(seed=0)
+        result = DarwinGame(DarwinGameConfig(seed=2)).tune(app, env, index_range=span)
+        assert span[0] <= result.best_index < span[1]
+
+    def test_invalid_index_range(self, app):
+        env = CloudEnvironment(seed=0)
+        with pytest.raises(TournamentError):
+            DarwinGame().tune(app, env, index_range=(50, 10))
+        with pytest.raises(TournamentError):
+            DarwinGame().tune(app, env, index_range=(0, app.space.size + 1))
+
+
+class TestAblationsRun:
+    @pytest.mark.parametrize("name", ABLATION_NAMES)
+    def test_every_ablation_completes(self, app, name):
+        cfg = DarwinGameConfig(seed=3).with_ablation(name)
+        result, _ = tune(app, cfg)
+        assert 0 <= result.best_index < app.space.size
+
+    def test_no_early_termination_costs_more(self, app):
+        base, _ = tune(app, DarwinGameConfig(seed=4))
+        ablated, _ = tune(
+            app, DarwinGameConfig(seed=4).with_ablation("w/o early termination")
+        )
+        assert ablated.core_hours > base.core_hours
+
+    def test_two_player_games_cost_more(self, app):
+        base, _ = tune(app, DarwinGameConfig(seed=4))
+        ablated, _ = tune(
+            app, DarwinGameConfig(seed=4).with_ablation("all 2-player games")
+        )
+        assert ablated.core_hours > base.core_hours
+
+
+class TestSmallSpaces:
+    def test_tiny_space(self):
+        app = make_application("lammps", scale=2)
+        env = CloudEnvironment(seed=0)
+        result = DarwinGame(DarwinGameConfig(seed=0, n_regions=4)).tune(app, env)
+        assert 0 <= result.best_index < app.space.size
+
+    def test_small_vm(self, app):
+        """m5.large has 2 vCPUs: every game degenerates to two players."""
+        from repro.cloud.vm import PRESETS
+
+        env = CloudEnvironment(PRESETS["m5.large"], seed=0)
+        cfg = DarwinGameConfig(seed=0, n_regions=8, max_regional_rounds=6)
+        result = DarwinGame(cfg).tune(app, env)
+        assert 0 <= result.best_index < app.space.size

@@ -1,0 +1,78 @@
+"""Dedicated tests for the human-readable tournament report."""
+
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.tournament import DarwinGame
+from repro.core.trace import format_tournament_report
+from repro.types import TuningResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    app = make_application("redis", scale="test")
+    env = CloudEnvironment(seed=8)
+    return DarwinGame(DarwinGameConfig(seed=8)).tune(app, env)
+
+
+class TestTournamentReport:
+    def test_header_names_winner(self, result):
+        text = format_tournament_report(result)
+        assert text.splitlines()[0].endswith(str(result.best_index))
+
+    def test_totals_line(self, result):
+        text = format_tournament_report(result)
+        assert f"{result.evaluations} evaluations" in text
+        assert "core-hours" in text
+
+    def test_phase_counts_match_details(self, result):
+        text = format_tournament_report(result)
+        regional = result.details["regional"]
+        assert f"{regional['regions']} regions" in text
+        assert f"{regional['games']} games" in text
+
+    def test_final_line_names_runner_up(self, result):
+        text = format_tournament_report(result)
+        runner_up = result.details["playoffs"].get("runner_up")
+        if runner_up is not None:
+            assert f"beat {runner_up}" in text
+
+    def test_minimal_result_renders(self):
+        """A result with no phase details (degenerate run) still renders."""
+        bare = TuningResult(
+            tuner_name="DarwinGame",
+            best_index=5,
+            best_values=("x",),
+            evaluations=0,
+            core_hours=0.0,
+            tuning_seconds=0.0,
+            details={},
+        )
+        text = format_tournament_report(bare)
+        assert "winner 5" in text
+        assert "phase I" not in text
+
+    def test_ablated_run_omits_missing_phases(self):
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=9)
+        cfg = DarwinGameConfig(regional_phase=False, seed=9)
+        ablated = DarwinGame(cfg).tune(app, env)
+        text = format_tournament_report(ablated)
+        # "w/o regional" reports 0 regions but still renders phase II.
+        assert "phase II" in text
+
+
+class TestLogging:
+    def test_tournament_emits_phase_logs(self, caplog):
+        import logging
+
+        app = make_application("redis", scale="test")
+        env = CloudEnvironment(seed=10)
+        with caplog.at_level(logging.INFO, logger="repro.core.tournament"):
+            DarwinGame(DarwinGameConfig(seed=10)).tune(app, env)
+        messages = " ".join(r.message for r in caplog.records)
+        assert "regional phase" in messages
+        assert "global phase" in messages
+        assert "tournament winner" in messages

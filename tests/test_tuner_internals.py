@@ -1,0 +1,135 @@
+"""White-box tests for baseline-tuner internals."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.tuners.active_harmony import ActiveHarmonyLike
+from repro.tuners.base import ObservationLog
+from repro.tuners.bliss import BlissLike, _ModelSpec, _POOL
+from repro.tuners.opentuner_like import (
+    OpenTunerLike,
+    _DifferentialEvolution,
+    _GreedyMutation,
+    _PatternSearch,
+    _UniformRandom,
+)
+from repro.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+def seeded_log(app, n=20, seed=0):
+    log = ObservationLog()
+    rng = ensure_rng(seed)
+    indices = app.space.sample_indices(n, rng)
+    times = 100.0 + 50.0 * rng.random(n)
+    for i, t in zip(indices, times):
+        log.add(int(i), float(t))
+    return log
+
+
+class TestOpenTunerTechniques:
+    def test_uniform_random_in_space(self, app):
+        t = _UniformRandom()
+        for seed in range(5):
+            idx = t.propose(app, ObservationLog(), ensure_rng(seed))
+            assert 0 <= idx < app.space.size
+
+    def test_greedy_mutation_near_best(self, app):
+        t = _GreedyMutation()
+        log = seeded_log(app)
+        rng = ensure_rng(1)
+        best_levels = np.array(app.space.levels_of(log.best_index))
+        proposal = t.propose(app, log, rng)
+        levels = np.array(app.space.levels_of(proposal))
+        # At most a quarter of the dimensions (plus one) may change.
+        changed = int((levels != best_levels).sum())
+        assert changed <= app.space.dimension // 4 + 1
+
+    def test_pattern_search_unit_step(self, app):
+        t = _PatternSearch()
+        log = seeded_log(app)
+        proposal = t.propose(app, log, ensure_rng(2))
+        base = np.array(app.space.levels_of(log.best_index))
+        levels = np.array(app.space.levels_of(proposal))
+        assert np.abs(levels - base).sum() == 1
+
+    def test_de_needs_population(self, app):
+        t = _DifferentialEvolution()
+        idx = t.propose(app, ObservationLog(), ensure_rng(0))
+        assert 0 <= idx < app.space.size  # falls back to random
+
+    def test_de_valid_proposals(self, app):
+        t = _DifferentialEvolution()
+        log = seeded_log(app, n=30)
+        for seed in range(5):
+            idx = t.propose(app, log, ensure_rng(seed))
+            assert 0 <= idx < app.space.size
+
+    def test_techniques_all_used_early(self, app):
+        """Before credit accumulates, the UCB bonus explores all arms."""
+        from repro.cloud.environment import CloudEnvironment
+
+        result = OpenTunerLike(seed=0).tune(
+            app, CloudEnvironment(seed=0), budget=80
+        )
+        assert all(v > 0 for v in result.details["technique_uses"].values())
+
+
+class TestBlissInternals:
+    def test_pool_is_diverse(self):
+        assert len({s.length_scale for s in _POOL}) >= 3
+        assert len({s.acquisition for s in _POOL}) == 3
+
+    def test_model_names_unique(self):
+        assert len({s.name for s in _POOL}) == len(_POOL)
+
+    def test_gp_predict_interpolates(self):
+        train = np.array([[0.0], [1.0]])
+        y = np.array([-1.0, 1.0])
+        cand = np.array([[0.0], [0.5], [1.0]])
+        mu, sigma = BlissLike._gp_predict(train, y, cand, 0.5)
+        assert mu[0] < mu[1] < mu[2]
+        assert sigma[1] > sigma[0]  # more uncertainty between samples
+
+    def test_acquisitions_prefer_low_mean(self):
+        mu = np.array([0.0, -2.0])
+        sigma = np.array([0.5, 0.5])
+        for kind in ("ei", "pi", "ucb"):
+            score = BlissLike._acquisition(kind, mu, sigma, y_best=0.0)
+            assert score[1] > score[0]
+
+    def test_unknown_acquisition(self):
+        with pytest.raises(ValueError):
+            BlissLike._acquisition("entropy", np.zeros(1), np.ones(1), 0.0)
+
+    def test_pick_model_weighted(self):
+        rng = ensure_rng(0)
+        credits = {s.name: 0.0 for s in _POOL}
+        credits[_POOL[0].name] = 100.0
+        picks = [BlissLike._pick_model(credits, rng) for _ in range(50)]
+        assert sum(p is _POOL[0] for p in picks) > 40
+
+    def test_model_spec_frozen(self):
+        spec = _ModelSpec(0.5, "ei")
+        with pytest.raises(AttributeError):
+            spec.length_scale = 1.0
+
+
+class TestActiveHarmonyInternals:
+    def test_clip_rounds_and_bounds(self):
+        cards = np.array([3, 5])
+        out = ActiveHarmonyLike._clip(np.array([2.7, -1.2]), cards)
+        assert out.tolist() == [2, 0]
+
+    def test_budget_exact(self, app):
+        from repro.cloud.environment import CloudEnvironment
+
+        result = ActiveHarmonyLike(seed=0).tune(
+            app, CloudEnvironment(seed=0), budget=100
+        )
+        assert result.evaluations <= 101

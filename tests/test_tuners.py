@@ -1,0 +1,151 @@
+"""Unit tests for the baseline tuners."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.errors import TunerError
+from repro.tuners import (
+    ActiveHarmonyLike,
+    BlissLike,
+    ExhaustiveSearch,
+    ObservationLog,
+    OpenTunerLike,
+    RandomSearch,
+    fraction_budget,
+)
+
+ALL_BASELINES = [RandomSearch, OpenTunerLike, ActiveHarmonyLike, BlissLike]
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_application("redis", scale="test")
+
+
+class TestObservationLog:
+    def test_best(self):
+        log = ObservationLog()
+        log.add(1, 100.0)
+        log.add(2, 50.0)
+        log.add(3, 75.0)
+        assert log.best_index == 2
+        assert log.best_time == 50.0
+        assert len(log) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(TunerError):
+            ObservationLog().best_index
+
+    def test_as_arrays(self):
+        log = ObservationLog()
+        log.add(4, 10.0)
+        indices, times = log.as_arrays()
+        assert indices.tolist() == [4]
+        assert times.tolist() == [10.0]
+
+
+class TestBudgets:
+    def test_fraction_budget(self):
+        assert fraction_budget(10000, 0.05) == 500
+
+    def test_clamped(self):
+        assert fraction_budget(100, 0.01) == 64
+        assert fraction_budget(10**9, 0.5) == 20000
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TunerError):
+            fraction_budget(1000, 0.0)
+
+    def test_budget_never_exceeds_space(self):
+        assert fraction_budget(80, 0.9) <= 80
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+class TestBaselineContract:
+    def test_returns_valid_result(self, cls, app):
+        env = CloudEnvironment(seed=0)
+        result = cls(seed=1).tune(app, env, budget=120)
+        assert 0 <= result.best_index < app.space.size
+        assert result.core_hours > 0
+        assert result.evaluations >= 100  # within rounding of the budget
+        assert result.tuner_name == cls.name
+
+    def test_respects_budget_roughly(self, cls, app):
+        env = CloudEnvironment(seed=0)
+        result = cls(seed=1).tune(app, env, budget=150)
+        assert result.evaluations <= 160
+
+    def test_deterministic(self, cls, app):
+        a = cls(seed=7).tune(app, CloudEnvironment(seed=3), budget=100)
+        b = cls(seed=7).tune(app, CloudEnvironment(seed=3), budget=100)
+        assert a.best_index == b.best_index
+
+    def test_invalid_budget(self, cls, app):
+        with pytest.raises(TunerError):
+            cls(seed=0).tune(app, CloudEnvironment(seed=0), budget=0)
+
+
+class TestExhaustive:
+    def test_visits_whole_space(self, app):
+        env = CloudEnvironment(seed=0)
+        result = ExhaustiveSearch(seed=0).tune(app, env)
+        assert result.evaluations == app.space.size
+
+    def test_finds_low_true_time(self, app):
+        """Argmin-observed lands near the optimum in true time (Sec. 2) ..."""
+        env = CloudEnvironment(seed=0)
+        result = ExhaustiveSearch(seed=0).tune(app, env)
+        assert app.optimality_gap_percent(result.best_index) < 15.0
+
+    def test_costs_the_most(self, app):
+        env_a = CloudEnvironment(seed=0)
+        exhaustive = ExhaustiveSearch(seed=0).tune(app, env_a)
+        env_b = CloudEnvironment(seed=0)
+        sampled = RandomSearch(seed=0).tune(app, env_b, budget=200)
+        assert exhaustive.core_hours > 10 * sampled.core_hours
+
+
+class TestSearchQuality:
+    @pytest.mark.parametrize("cls", [OpenTunerLike, BlissLike])
+    def test_beats_random_search_on_true_time(self, cls, app):
+        """Model-guided baselines should out-search pure random sampling."""
+        gaps_guided, gaps_random = [], []
+        for seed in range(3):
+            env = CloudEnvironment(seed=seed)
+            guided = cls(seed=seed).tune(app, env, budget=250)
+            gaps_guided.append(app.optimality_gap_percent(guided.best_index))
+            env = CloudEnvironment(seed=seed)
+            rand = RandomSearch(seed=seed).tune(app, env, budget=250)
+            gaps_random.append(app.optimality_gap_percent(rand.best_index))
+        assert np.mean(gaps_guided) <= np.mean(gaps_random) + 5.0
+
+    def test_opentuner_uses_multiple_techniques(self, app):
+        env = CloudEnvironment(seed=0)
+        result = OpenTunerLike(seed=2).tune(app, env, budget=200)
+        uses = result.details["technique_uses"]
+        assert sum(uses.values()) == 200
+        assert sum(1 for v in uses.values() if v > 0) >= 2
+
+    def test_bliss_uses_model_pool(self, app):
+        env = CloudEnvironment(seed=0)
+        result = BlissLike(seed=2).tune(app, env, budget=200)
+        assert sum(result.details["model_uses"].values()) >= 2
+
+    def test_activeharmony_restarts(self, app):
+        env = CloudEnvironment(seed=0)
+        result = ActiveHarmonyLike(seed=2).tune(app, env, budget=400)
+        assert result.details["restarts"] >= 1
+
+
+class TestObservationExposure:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_observations_in_details(self, cls, app):
+        """The Sec. 3.6 integration needs each baseline's sample trajectory."""
+        env = CloudEnvironment(seed=0)
+        result = cls(seed=1).tune(app, env, budget=100)
+        indices = result.details["observed_indices"]
+        times = result.details["observed_times"]
+        assert len(indices) == len(times) >= 90
+        assert all(0 <= i < app.space.size for i in indices)

@@ -1,0 +1,81 @@
+"""Unit tests for VM specs and interference profiles."""
+
+import pytest
+
+from repro.cloud.vm import DEFAULT_VM, PRESETS, InterferenceProfile, VMSpec, make_profile
+from repro.errors import CloudError
+
+
+class TestPresets:
+    def test_paper_instance_types_present(self):
+        for name in (
+            "m5.large",
+            "m5.2xlarge",
+            "m5.8xlarge",
+            "m5.16xlarge",
+            "m5.24xlarge",
+            "c5.9xlarge",
+            "r5.8xlarge",
+            "i3.8xlarge",
+        ):
+            assert name in PRESETS
+
+    def test_vcpu_counts_match_aws(self):
+        assert PRESETS["m5.large"].vcpus == 2
+        assert PRESETS["m5.2xlarge"].vcpus == 8
+        assert PRESETS["m5.8xlarge"].vcpus == 32
+        assert PRESETS["m5.16xlarge"].vcpus == 64
+        assert PRESETS["m5.24xlarge"].vcpus == 96
+        assert PRESETS["c5.9xlarge"].vcpus == 36
+
+    def test_families(self):
+        assert PRESETS["c5.9xlarge"].family == "compute"
+        assert PRESETS["r5.8xlarge"].family == "memory"
+        assert PRESETS["i3.8xlarge"].family == "storage"
+
+    def test_default_is_paper_main_vm(self):
+        assert DEFAULT_VM.name == "m5.8xlarge"
+
+    def test_preset_lookup(self):
+        assert VMSpec.preset("m5.large") is PRESETS["m5.large"]
+
+    def test_unknown_preset(self):
+        with pytest.raises(CloudError):
+            VMSpec.preset("t2.micro")
+
+
+class TestValidation:
+    def test_bad_vcpus(self):
+        with pytest.raises(CloudError):
+            VMSpec("x", 0)
+
+    def test_bad_family(self):
+        with pytest.raises(CloudError):
+            VMSpec("x", 4, "quantum")
+
+    def test_profile_validation(self):
+        with pytest.raises(CloudError):
+            InterferenceProfile(
+                mean_level=-1, fast_std=0.1, fast_tau=60, diurnal_amplitude=0.1,
+                drift_std=0.01, burst_rate=0.001, burst_scale=0.5, burst_duration=120,
+            )
+        with pytest.raises(CloudError):
+            InterferenceProfile(
+                mean_level=0.3, fast_std=0.1, fast_tau=0, diurnal_amplitude=0.1,
+                drift_std=0.01, burst_rate=0.001, burst_scale=0.5, burst_duration=120,
+            )
+
+    def test_make_profile_validation(self):
+        with pytest.raises(CloudError):
+            make_profile(0, "general")
+        with pytest.raises(CloudError):
+            make_profile(8, "bogus")
+
+
+class TestSizeEffect:
+    def test_interference_decreases_with_size(self):
+        means = [
+            PRESETS[name].interference.mean_level
+            for name in ("m5.large", "m5.2xlarge", "m5.8xlarge", "m5.24xlarge")
+        ]
+        assert means == sorted(means, reverse=True)
