@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the perf-regression benchmark and append the measurement to a
+# BENCH_<date>.json perf-trajectory file in the repo root, one JSON object
+# per line.  Extra arguments are passed through to pytest.
+#
+#   scripts/bench.sh            # run + append to BENCH_YYYY-MM-DD.json
+#   scripts/bench.sh -k wall    # only the wall-time gate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y-%m-%d).json"
+BENCH_JSON="$out" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m pytest benchmarks/test_perf_tournament.py -q -s -m benchmark "$@"
+echo "perf trajectory appended to $out"

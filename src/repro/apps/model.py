@@ -32,6 +32,27 @@ class OraclePoint:
     sensitivity: float
 
 
+# Spaces up to this size get a lazy full-array memo of the two surface
+# quantities (two float64 arrays, ≤ 64 MB at the limit).  Tournament rounds
+# re-evaluate the same lineups game after game, so the memo turns repeated
+# surface evaluations into array gathers.  Larger spaces fall back to direct
+# evaluation — their tuners touch a vanishing fraction of the space anyway.
+_FULL_MEMO_LIMIT = 4_194_304
+
+
+def _memoised(
+    memo: np.ndarray, idx: np.ndarray, compute
+) -> np.ndarray:
+    """Gather ``idx`` from ``memo``, computing not-yet-seen entries once."""
+    gathered = memo[idx]
+    missing = np.isnan(gathered)
+    if missing.any():
+        fill = np.unique(idx[missing])
+        memo[fill] = compute(fill)
+        gathered = memo[idx]
+    return gathered
+
+
 class ApplicationModel:
     """A tunable application: search space + performance surface + metadata.
 
@@ -58,6 +79,8 @@ class ApplicationModel:
         self.surface = surface
         self.work_metric = work_metric
         self.scale = scale
+        self._time_memo: Optional[np.ndarray] = None
+        self._sens_memo: Optional[np.ndarray] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -67,14 +90,39 @@ class ApplicationModel:
 
     # -- the two physical quantities -------------------------------------
 
+    def _compute_true_time(self, idx: np.ndarray) -> np.ndarray:
+        return self.surface.times_of_levels(self.space.levels_matrix(idx))
+
+    def _compute_sensitivity(self, idx: np.ndarray) -> np.ndarray:
+        return self.surface.sensitivities(idx)
+
+    def _can_memo(self, idx: np.ndarray) -> bool:
+        """Memoise in-range lookups of small spaces; let the direct path
+        raise naturally on out-of-range indices."""
+        return (
+            self.space.size <= _FULL_MEMO_LIMIT
+            and idx.ndim == 1
+            and idx.size > 0
+            and bool(np.all((idx >= 0) & (idx < self.space.size)))
+        )
+
     def true_time(self, indices) -> np.ndarray:
         """Interference-free execution time (seconds) of each configuration."""
-        levels = self.space.levels_matrix(np.asarray(indices, dtype=np.int64))
-        return self.surface.times_of_levels(levels)
+        idx = np.asarray(indices, dtype=np.int64)
+        if not self._can_memo(idx):
+            return self._compute_true_time(idx)
+        if self._time_memo is None:
+            self._time_memo = np.full(self.space.size, np.nan)
+        return _memoised(self._time_memo, idx, self._compute_true_time)
 
     def sensitivity(self, indices) -> np.ndarray:
         """Noise sensitivity of each configuration (0 = immune)."""
-        return self.surface.sensitivities(np.asarray(indices, dtype=np.int64))
+        idx = np.asarray(indices, dtype=np.int64)
+        if not self._can_memo(idx):
+            return self._compute_sensitivity(idx)
+        if self._sens_memo is None:
+            self._sens_memo = np.full(self.space.size, np.nan)
+        return _memoised(self._sens_memo, idx, self._compute_sensitivity)
 
     def is_robust(self, indices) -> np.ndarray:
         """Whether each configuration belongs to the interference-immune subset."""

@@ -1,7 +1,11 @@
 """Cloud simulator: VMs, interference, co-location physics, accounting."""
 
 from repro.cloud.accounting import CoreHourLedger
-from repro.cloud.colocation import contention_level, simulate_colocated
+from repro.cloud.colocation import (
+    contention_level,
+    simulate_colocated,
+    simulate_colocated_batch,
+)
 from repro.cloud.environment import CloudEnvironment
 from repro.cloud.fleet import FleetPoint, FleetSchedule, fleet_tradeoff, schedule_lpt
 from repro.cloud.interference import InterferenceProcess
@@ -32,6 +36,7 @@ __all__ = [
     "record_trace",
     "schedule_lpt",
     "simulate_colocated",
+    "simulate_colocated_batch",
     "spike_trace",
     "step_trace",
 ]

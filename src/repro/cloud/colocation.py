@@ -18,7 +18,7 @@ runner-up by more than the work-done deviation ``d`` (Fig. 5).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,101 +76,365 @@ def simulate_colocated(
             this fraction before early termination may fire.
         max_segments: resolution cap of the piecewise-constant simulation.
     """
-    t_true = np.asarray(true_times, dtype=float)
-    sens = np.asarray(sensitivities, dtype=float)
-    if t_true.ndim != 1 or t_true.shape != sens.shape:
-        raise CloudError("true_times and sensitivities must be matching 1-D arrays")
-    if t_true.size == 0:
-        raise CloudError("a game needs at least one player")
-    if np.any(t_true <= 0):
-        raise CloudError("true execution times must be positive")
+    return simulate_colocated_batch(
+        games=[(true_times, sensitivities)],
+        vm=vm,
+        interference=interference,
+        start_time=start_time,
+        rngs=[rng],
+        work_deviation=work_deviation,
+        min_work_for_termination=min_work_for_termination,
+        max_segments=max_segments,
+    )[0]
+
+
+# Element budget (games * segments * players) of one stacked simulation pass.
+# Rounds larger than this are transparently split so peak memory stays at a
+# few hundred MB even for thousand-game rounds; the split never changes
+# results because every game draws from its own generator.
+_BATCH_ELEMENT_BUDGET = 4_000_000
+
+
+class _GameState:
+    """Mutable per-game simulation state threaded through horizon attempts."""
+
+    __slots__ = (
+        "t_true", "sens", "k", "shared", "unfairness", "horizon", "dt",
+        "n_segments", "elapsed", "work", "early", "mean_levels", "rng",
+    )
+
+    def __init__(
+        self,
+        t_true: np.ndarray,
+        sens: np.ndarray,
+        vm: VMSpec,
+        interference: InterferenceProcess,
+        rng: np.random.Generator,
+        max_segments: int,
+    ) -> None:
+        self.t_true = t_true
+        self.sens = sens
+        self.k = t_true.size
+        self.shared = contention_level(self.k, vm.vcpus)
+        # Sticky per-player luck for this game; partially sensitivity-scaled —
+        # contention-heavy (sensitive) executions suffer more from bad
+        # placement.
+        self.unfairness = rng.normal(0.0, _UNFAIRNESS_STD, size=self.k) * (
+            0.25 + 0.75 * sens
+        )
+        # Upper-bound the game duration: slowest player under pessimistic noise.
+        pessimistic = 1.0 + sens * (interference.profile.mean_level
+                                    + 3.0 * interference.profile.fast_std
+                                    + self.shared)
+        self.horizon = float((t_true * pessimistic).max()) * 1.5
+        self.n_segments = int(min(max_segments, max(48, self.horizon / 5.0)))
+        self.dt = self.horizon / self.n_segments
+        self.elapsed = 0.0
+        self.work = np.zeros(self.k)
+        self.early = False
+        self.mean_levels: List[float] = []
+        self.rng = rng
+
+    def outcome(self, start_time: float) -> GameOutcome:
+        work = np.minimum(self.work, 1.0)
+        finished = work >= 1.0 - 1e-9
+        levels = self.mean_levels
+        return GameOutcome(
+            elapsed=float(self.elapsed),
+            work=tuple(work.tolist()),
+            finished=tuple(finished.tolist()),
+            early_terminated=self.early,
+            start_time=float(start_time),
+            mean_interference=float(sum(levels) / len(levels)),
+        )
+
+
+def simulate_colocated_batch(
+    *,
+    games: Sequence[Tuple[np.ndarray, np.ndarray]],
+    vm: VMSpec,
+    interference: InterferenceProcess,
+    start_time: float,
+    rngs: Sequence[np.random.Generator],
+    work_deviation: Optional[float] = None,
+    min_work_for_termination: float = 0.25,
+    max_segments: int = 240,
+) -> List[GameOutcome]:
+    """Simulate one *round* of co-located games as stacked tensors.
+
+    ``games`` is a list of ``(true_times, sensitivities)`` player arrays —
+    one entry per game of the round; ``rngs`` supplies one generator per
+    game, so every game owns an independent random stream and the result is
+    identical whether the round is simulated in one pass, split into chunks,
+    or replayed one game at a time (``simulate_colocated`` is exactly the
+    single-game batch).
+
+    All games start at ``start_time`` (games of a round run on parallel
+    VMs).  The heavy arithmetic — slowdown fields, work cumsums, and the
+    early-termination scan — runs once per horizon attempt on a padded
+    ``(games, segments, players)`` tensor instead of once per game.
+    """
+    if len(rngs) != len(games):
+        raise CloudError(
+            f"need one rng per game, got {len(rngs)} for {len(games)} games"
+        )
     if work_deviation is not None and not 0.0 < work_deviation < 1.0:
         raise CloudError(f"work deviation must be in (0, 1), got {work_deviation}")
 
-    k = t_true.size
-    shared = contention_level(k, vm.vcpus)
-    # Sticky per-player luck for this game; partially sensitivity-scaled —
-    # contention-heavy (sensitive) executions suffer more from bad placement.
-    unfairness = rng.normal(0.0, _UNFAIRNESS_STD, size=k) * (0.25 + 0.75 * sens)
+    prepared: List[Tuple[np.ndarray, np.ndarray]] = []
+    for true_times, sensitivities in games:
+        t_true = np.asarray(true_times, dtype=float)
+        sens = np.asarray(sensitivities, dtype=float)
+        if t_true.ndim != 1 or t_true.shape != sens.shape:
+            raise CloudError(
+                "true_times and sensitivities must be matching 1-D arrays"
+            )
+        if t_true.size == 0:
+            raise CloudError("a game needs at least one player")
+        if np.any(t_true <= 0):
+            raise CloudError("true execution times must be positive")
+        prepared.append((t_true, sens))
 
-    # Upper-bound the game duration: slowest player under pessimistic noise.
-    pessimistic = 1.0 + sens * (interference.profile.mean_level
-                                + 3.0 * interference.profile.fast_std
-                                + shared)
-    horizon = float((t_true * pessimistic).max()) * 1.5
-    n_segments = int(min(max_segments, max(48, horizon / 5.0)))
-
-    elapsed = 0.0
-    work = np.zeros(k)
-    early = False
-    finished_at = None
-    mean_levels = []
+    states = [
+        _GameState(t_true, sens, vm, interference, rng, max_segments)
+        for (t_true, sens), rng in zip(prepared, rngs)
+    ]
 
     # The horizon is a heuristic; extend (rarely) until the fastest finishes.
+    active = list(range(len(states)))
     for _attempt in range(8):
-        levels = interference.sample_trajectory(
-            start_time + elapsed, horizon, n_segments, rng
+        if not active:
+            break
+        still_active: List[int] = []
+        for chunk in _budget_chunks(active, states):
+            still_active.extend(
+                _simulate_attempt(
+                    chunk, states, interference, start_time,
+                    work_deviation, min_work_for_termination,
+                )
+            )
+        active = still_active
+    if active:  # pragma: no cover - would need pathological surfaces
+        raise CloudError("co-located game failed to converge within 8 horizons")
+
+    return [state.outcome(start_time) for state in states]
+
+
+def _budget_chunks(
+    active: List[int], states: List[_GameState]
+) -> List[List[int]]:
+    """Split a round into chunks whose padded tensor fits the element budget.
+
+    Games are grouped by similar segment count and player count, so the
+    padded ``(games, segments, players)`` tensor of each chunk carries
+    little dead weight.  Chunk composition never changes results — every
+    game draws from its own generator.
+    """
+    ordered = sorted(active, key=lambda g: (states[g].n_segments, states[g].k))
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    max_s = max_p = 0
+    for g in ordered:
+        s = max(max_s, states[g].n_segments)
+        p = max(max_p, states[g].k)
+        if current and (len(current) + 1) * s * p > _BATCH_ELEMENT_BUDGET:
+            chunks.append(current)
+            current, s, p = [], states[g].n_segments, states[g].k
+        current.append(g)
+        max_s, max_p = s, p
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# Segment block length of the stacked scan.  Games leave the computation as
+# soon as they stop (finish or early-terminate), so most of a round is only
+# simulated over the first block or two instead of every game paying for the
+# full pessimistic horizon.
+_SEGMENT_BLOCK = 32
+
+
+def _simulate_attempt(
+    chunk: List[int],
+    states: List[_GameState],
+    interference: InterferenceProcess,
+    start_time: float,
+    work_deviation: Optional[float],
+    min_work: float,
+) -> List[int]:
+    """Advance every game of ``chunk`` by one horizon; return the unfinished."""
+    n_games = len(chunk)
+    seg_max = max(states[g].n_segments for g in chunk)
+    p_max = max(states[g].k for g in chunk)
+    # Chunks are grouped by shape, so padding is usually absent — in that
+    # case the masking passes over the tensors are skipped entirely.
+    padded = any(
+        states[g].n_segments != seg_max or states[g].k != p_max for g in chunk
+    )
+
+    levels = np.zeros((n_games, seg_max))
+    t_true = np.ones((n_games, p_max))
+    sens = np.zeros((n_games, p_max))
+    unfairness = np.zeros((n_games, p_max))
+    carry = np.zeros((n_games, p_max))  # work done up to the current block
+    shared = np.empty(n_games)
+    dt = np.empty(n_games)
+    k_arr = np.empty(n_games, dtype=np.int64)
+    if padded:
+        mask_p = np.zeros((n_games, p_max), dtype=bool)
+        mask_s = np.zeros((n_games, seg_max), dtype=bool)
+
+    # Per-game trajectory draws (batched across the chunk when the
+    # interference process supports it — replayed traces fall back to the
+    # per-game call); everything after is a stacked computation over the
+    # whole chunk.
+    batch_sampler = getattr(interference, "sample_trajectories", None)
+    if batch_sampler is not None:
+        trajectories = batch_sampler(
+            [start_time + states[g].elapsed for g in chunk],
+            [states[g].horizon for g in chunk],
+            [states[g].n_segments for g in chunk],
+            [states[g].rng for g in chunk],
         )
-        mean_levels.append(float(levels.mean()))
-        dt = horizon / n_segments
-        # rates: (segments, players) — work fraction per second.
-        jitter = rng.normal(0.0, _JITTER_STD, size=(n_segments, k)) * sens
-        slowdown = 1.0 + sens * (levels[:, None] + shared) + jitter + unfairness[None, :]
+    else:
+        trajectories = [
+            interference.sample_trajectory(
+                start_time + states[g].elapsed,
+                states[g].horizon,
+                states[g].n_segments,
+                states[g].rng,
+            )
+            for g in chunk
+        ]
+    for a, g in enumerate(chunk):
+        st = states[g]
+        traj = trajectories[a]
+        st.mean_levels.append(float(traj.mean()))
+        levels[a, : st.n_segments] = traj
+        t_true[a, : st.k] = st.t_true
+        sens[a, : st.k] = st.sens
+        unfairness[a, : st.k] = st.unfairness
+        carry[a, : st.k] = st.work
+        shared[a] = st.shared
+        dt[a] = st.dt
+        k_arr[a] = st.k
+        if padded:
+            mask_p[a, : st.k] = True
+            mask_s[a, : st.n_segments] = True
+
+    levels += shared[:, None]  # level + co-location contention, per segment
+
+    # Scan the horizon in segment blocks.  A game whose stop segment falls
+    # inside a block is finalised and leaves the scan, so later blocks only
+    # simulate — and only draw jitter for — the games still running.  The
+    # per-game generator emits jitter values in segment order either way, so
+    # lazy drawing yields the same numbers as drawing the whole horizon
+    # upfront; the undrawn tail of a stopped game's dedicated stream is
+    # simply never consumed.
+    rows = np.arange(n_games)
+    unfinished: List[int] = []
+    for b0 in range(0, seg_max, _SEGMENT_BLOCK):
+        b1 = min(b0 + _SEGMENT_BLOCK, seg_max)
+        # Per-player scheduling jitter of the block, drawn per running game.
+        w = np.zeros((rows.size, b1 - b0, p_max))
+        for r, a in enumerate(rows):
+            st = states[chunk[int(a)]]
+            hi = min(b1, st.n_segments)
+            if hi > b0:
+                w[r, : hi - b0, : st.k] = (
+                    st.rng.normal(0.0, _JITTER_STD, size=(hi - b0, st.k))
+                    * st.sens
+                )
+        # Slowdown field of the block, built in place on the jitter buffer:
+        # 1 + sens * (level + contention) + jitter + unfairness.
+        w += unfairness[rows][:, None, :]
+        w += 1.0
+        w += sens[rows][:, None, :] * levels[rows, b0:b1][:, :, None]
         # Nothing in a shared VM runs faster than on dedicated hardware:
         # lucky jitter/unfairness can only claw back toward the noise-free
         # rate, never beyond it.
-        rates = 1.0 / (t_true * np.maximum(slowdown, 1.0))
-        cum = work + np.cumsum(rates * dt, axis=0)
+        np.maximum(w, 1.0, out=w)
+        w *= t_true[rows][:, None, :]
+        np.reciprocal(w, out=w)       # rates: work fraction per second
+        w *= dt[rows][:, None, None]  # work fraction per segment
+        if padded:
+            w *= mask_p[rows][:, None, :]
+            w *= mask_s[rows, b0:b1][:, :, None]
+        cum = np.cumsum(w, axis=1)
+        cum += carry[rows][:, None, :]
 
-        stop_segment = None
-        if work_deviation is not None and k >= 2:
-            top2 = np.sort(cum, axis=1)[:, -2:]
-            best, second = top2[:, 1], top2[:, 0]
+        k_rows = k_arr[rows]
+        trig_any = np.zeros(rows.size, dtype=bool)
+        trig_first = np.zeros(rows.size, dtype=np.int64)
+        if work_deviation is not None and p_max >= 2:
+            view = np.where(mask_p[rows][:, None, :], cum, -np.inf) if padded else cum
+            top2 = np.partition(view, p_max - 2, axis=2)[:, :, p_max - 2:]
+            best, second = top2[:, :, 1], top2[:, :, 0]
             gap = (best - second) / np.maximum(best, 1e-12)
-            triggered = (best >= min_work_for_termination) & (gap > work_deviation)
-            hits = np.nonzero(triggered)[0]
-            if hits.size:
-                stop_segment = int(hits[0])
+            triggered = (best >= min_work) & (gap > work_deviation)
+            if padded:
+                triggered &= mask_s[rows, b0:b1]
+            if np.any(k_rows < 2):
+                triggered &= (k_rows >= 2)[:, None]
+            trig_any = triggered.any(axis=1)
+            trig_first = triggered.argmax(axis=1)
+        else:
+            best = (
+                np.where(mask_p[rows][:, None, :], cum, -np.inf) if padded else cum
+            ).max(axis=2)
+
+        # A frozen padded tail can never newly cross 1.0, so the first
+        # >= 1.0 segment is always a real one; no segment mask needed.
+        done = best >= 1.0
+        done_any = done.any(axis=1)
+        done_first = done.argmax(axis=1)
+
+        for r in np.nonzero(trig_any | done_any)[0]:
+            st = states[chunk[int(rows[r])]]
+            stop_local: Optional[int] = None
+            early = finished = False
+            if trig_any[r]:
+                stop_local = int(trig_first[r])
                 early = True
-
-        done = np.nonzero(cum.max(axis=1) >= 1.0)[0]
-        if done.size and (stop_segment is None or done[0] <= stop_segment):
-            stop_segment = int(done[0])
-            early = False
-            finished_at = stop_segment
-
-        if stop_segment is not None:
+            if done_any[r] and (stop_local is None or done_first[r] <= stop_local):
+                stop_local = int(done_first[r])
+                early = False
+                finished = True
             # Interpolate the exact finish moment inside the stop segment so
             # elapsed time (and core-hours) do not quantise to segments.
-            prev = cum[stop_segment - 1] if stop_segment > 0 else work
-            seg_rates = rates[stop_segment]
-            if finished_at is not None:
-                leader = int(np.argmax(cum[stop_segment]))
+            prev = cum[r, stop_local - 1, : st.k] if stop_local > 0 else st.work
+            step = w[r, stop_local, : st.k]  # work done in the stop segment
+            if finished:
+                leader = int(np.argmax(cum[r, stop_local, : st.k]))
                 need = 1.0 - prev[leader]
-                frac = float(np.clip(need / (seg_rates[leader] * dt), 0.0, 1.0))
+                frac = float(np.clip(need / step[leader], 0.0, 1.0))
             else:
                 frac = 1.0
-            elapsed += (stop_segment + frac) * dt
-            work = prev + seg_rates * frac * dt
+            st.elapsed += (b0 + stop_local + frac) * st.dt
+            st.work = prev + step * frac
+            st.early = early
+
+        still = ~(trig_any | done_any)
+        if not still.any():
+            rows = rows[:0]
             break
+        # Bank block progress for the games still running.  (``st.work`` is
+        # only read at block starts, so carry is the single source of truth
+        # between blocks.)
+        carry[rows[still]] = cum[still, -1, :]
+        for r in np.nonzero(still)[0]:
+            a = int(rows[r])
+            states[chunk[a]].work = carry[a, : k_arr[a]]
+        rows = rows[still]
 
-        # Fastest player did not finish within the horizon: bank progress,
-        # advance, and simulate another horizon.
-        elapsed += horizon
-        work = cum[-1]
-    else:  # pragma: no cover - would need pathological surfaces
-        raise CloudError("co-located game failed to converge within 8 horizons")
-
-    work = np.minimum(work, 1.0)
-    finished = work >= 1.0 - 1e-9
-    return GameOutcome(
-        elapsed=float(elapsed),
-        work=tuple(float(w) for w in work),
-        finished=tuple(bool(f) for f in finished),
-        early_terminated=early,
-        start_time=float(start_time),
-        mean_interference=float(np.mean(mean_levels)),
-    )
+    # Fastest player did not finish within the horizon for whoever is left:
+    # bank progress; the next attempt simulates another horizon.
+    for a in rows:
+        st = states[chunk[int(a)]]
+        st.elapsed += st.horizon
+        st.work = carry[int(a), : st.k].copy()
+        unfinished.append(chunk[int(a)])
+    return unfinished
 
 
 def solo_observed_time(

@@ -13,7 +13,7 @@ and does the bookkeeping.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.analysis.stats import coefficient_of_variation
 from repro.cloud.accounting import CoreHourLedger
 from repro.cloud.colocation import (
     measurement_noise_std,
-    simulate_colocated,
+    simulate_colocated_batch,
     solo_observed_time,
 )
 from repro.cloud.interference import InterferenceProcess
@@ -159,27 +159,74 @@ class CloudEnvironment:
         Books the whole VM for the game's duration.  With ``advance_clock``
         False the caller is responsible for advancing time once per *round*
         of parallel games (games within a round run on parallel VMs).
+
+        Exactly equivalent to a single-game :meth:`run_colocated_batch` —
+        the game draws from the same spawned child generator either way.
         """
-        idx = np.asarray(indices, dtype=np.int64)
-        if idx.size > self.vm.vcpus:
-            raise CloudError(
-                f"cannot co-locate {idx.size} players on {self.vm.name} "
-                f"({self.vm.vcpus} vCPUs)"
-            )
-        outcome = simulate_colocated(
-            true_times=app.true_time(idx),
-            sensitivities=app.sensitivity(idx),
+        return self.run_colocated_batch(
+            app,
+            [indices],
+            work_deviation=work_deviation,
+            min_work_for_termination=min_work_for_termination,
+            label=label,
+            advance_clock=advance_clock,
+        )[0]
+
+    def run_colocated_batch(
+        self,
+        app: "ApplicationModel",
+        games: Sequence[Sequence[int]],
+        *,
+        work_deviation: Optional[float] = None,
+        min_work_for_termination: float = 0.25,
+        label: str = "game",
+        advance_clock: bool = False,
+    ) -> List[GameOutcome]:
+        """Run one *round* of co-located games, one parallel VM per game.
+
+        All games start at the current simulated time and are simulated as
+        one stacked tensor computation (see
+        :func:`repro.cloud.colocation.simulate_colocated_batch`).  Each game
+        draws from its own child generator spawned off the run stream and
+        keyed by its position in ``games``, so a round is seed-deterministic
+        and splitting it into smaller batches does not change outcomes.
+
+        Every game books the whole VM for its own duration.  With
+        ``advance_clock`` True the clock advances by the *longest* game of
+        the round — the paper's semantics of a round on parallel VMs.
+        """
+        lineups = [np.asarray(g, dtype=np.int64) for g in games]
+        if not lineups:
+            return []
+        for idx in lineups:
+            if idx.size > self.vm.vcpus:
+                raise CloudError(
+                    f"cannot co-locate {idx.size} players on {self.vm.name} "
+                    f"({self.vm.vcpus} vCPUs)"
+                )
+        # One vectorised surface evaluation for the whole round.
+        flat = np.concatenate(lineups)
+        t_true = app.true_time(flat)
+        sens = app.sensitivity(flat)
+        bounds = np.cumsum([idx.size for idx in lineups])[:-1]
+        games_in = list(zip(np.split(t_true, bounds), np.split(sens, bounds)))
+
+        outcomes = simulate_colocated_batch(
+            games=games_in,
             vm=self.vm,
             interference=self.interference,
             start_time=self._now,
-            rng=self._run_rng,
+            rngs=spawn(self._run_rng, len(lineups)),
             work_deviation=work_deviation,
             min_work_for_termination=min_work_for_termination,
         )
-        self.ledger.book(vcpus=self.vm.vcpus, seconds=outcome.elapsed, label=label)
+        for outcome in outcomes:
+            self.ledger.book(
+                vcpus=self.vm.vcpus, seconds=outcome.elapsed, label=label
+            )
         if advance_clock:
-            self.advance(outcome.elapsed)
-        return outcome
+            self.advance(max(outcome.elapsed for outcome in outcomes))
+        return outcomes
 
     # -- post-hoc evaluation (the paper's quality metrics) -----------------
 

@@ -34,6 +34,45 @@ _BUCKET_SECONDS = 3600.0
 _MIN_LEVEL = 0.01
 
 
+def ar1_scan(rho: float, state: float, innovations: np.ndarray) -> np.ndarray:
+    """Evaluate the linear recurrence ``y[k] = rho * y[k-1] + innovations[k]``.
+
+    Closed form: ``y[k] = rho**(k+1) * state + sum_j rho**(k-j) * eps[j]``,
+    evaluated as ``rho**k * cumsum(eps[j] / rho**j)`` so the whole scan is a
+    handful of vectorised numpy operations instead of a Python loop.  The
+    division by ``rho**j`` grows without bound, so the scan is chunked such
+    that ``rho**-j`` spans at most ~100 decades per chunk — well inside
+    float64 range while keeping each chunk a single vector expression.
+
+    ``rho`` must lie in ``[0, 1]`` (our decay/correlation coefficients
+    always do); negative coefficients are rejected.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise CloudError(f"ar1_scan requires rho in [0, 1], got {rho}")
+    eps = np.asarray(innovations, dtype=float)
+    n = eps.size
+    out = np.empty(n)
+    if n == 0:
+        return out
+    if rho == 0.0:
+        # Memoryless limit (e.g. segment length >> correlation time).
+        np.copyto(out, eps)
+        return out
+    if rho < 1.0:
+        chunk = max(1, int(100.0 / max(-math.log10(rho), 1e-18)))
+    else:  # pragma: no cover - rho is always < 1 for our processes
+        chunk = n
+    pos = 0
+    while pos < n:
+        m = min(chunk, n - pos)
+        powers = rho ** np.arange(1, m + 1)
+        seg = powers * (state + np.cumsum(eps[pos:pos + m] / powers))
+        out[pos:pos + m] = seg
+        state = float(seg[-1])
+        pos += m
+    return out
+
+
 class InterferenceProcess:
     """Seeded realisation of one host's interference over simulated time."""
 
@@ -52,17 +91,19 @@ class InterferenceProcess:
     # so campaigns weeks apart see genuinely different (but bounded) epochs.
     _WALK_RHO = 0.98
 
+    # Buckets appended per extension of the lazy walk table.  Extending in
+    # fixed, absolutely-aligned blocks keeps the walk bit-identical no matter
+    # which query times (in which order) trigger the extension — the scan's
+    # floating-point grouping never depends on the query pattern.
+    _WALK_BLOCK = 1024
+
     def _extend_walk(self, bucket: int) -> None:
-        if bucket < len(self._walk):
-            return
-        extra = bucket - len(self._walk) + 1
-        steps = self._walk_rng.normal(0.0, self.profile.drift_std, size=extra)
-        tail = np.empty(extra)
-        state = float(self._walk[-1])
-        for k in range(extra):
-            state = self._WALK_RHO * state + steps[k]
-            tail[k] = state
-        self._walk = np.concatenate([self._walk, tail])
+        while bucket >= len(self._walk):
+            steps = self._walk_rng.normal(
+                0.0, self.profile.drift_std, size=self._WALK_BLOCK
+            )
+            tail = ar1_scan(self._WALK_RHO, float(self._walk[-1]), steps)
+            self._walk = np.concatenate([self._walk, tail])
 
     def epoch_mean(self, t) -> np.ndarray:
         """Deterministic-given-seed slow mean level at time(s) ``t`` (seconds)."""
@@ -126,22 +167,66 @@ class InterferenceProcess:
         mids = start_time + (np.arange(n_segments) + 0.5) * dt
         base = self.epoch_mean(mids)
 
+        return self._stochastic_trajectory(base, dt, n_segments, rng)
+
+    def _stochastic_trajectory(
+        self,
+        base: np.ndarray,
+        dt: float,
+        n_segments: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Fast AR(1) + burst-decay components on top of the slow ``base``.
+
+        The single draw path shared by :meth:`sample_trajectory` and
+        :meth:`sample_trajectories` — batched and per-game trajectories must
+        consume a game's generator identically or batched rounds would stop
+        being equivalent to single games.
+        """
         rho = math.exp(-dt / self.profile.fast_tau)
         innovation_std = self.profile.fast_std * math.sqrt(max(1.0 - rho * rho, 1e-12))
         shocks = rng.normal(0.0, innovation_std, size=n_segments)
-        fast = np.empty(n_segments)
-        state = rng.normal(0.0, self.profile.fast_std)
-        for k in range(n_segments):
-            state = rho * state + shocks[k]
-            fast[k] = state
+        fast = ar1_scan(rho, float(rng.normal(0.0, self.profile.fast_std)), shocks)
 
         arrivals = rng.random(n_segments) < (self.profile.burst_rate * dt)
         magnitudes = rng.exponential(self.profile.burst_scale, size=n_segments) * arrivals
         decay = math.exp(-dt / self.profile.burst_duration)
-        bursts = np.empty(n_segments)
-        carry = 0.0
-        for k in range(n_segments):
-            carry = carry * decay + magnitudes[k]
-            bursts[k] = carry
+        bursts = ar1_scan(decay, 0.0, magnitudes)
 
         return np.maximum(base + fast + bursts, _MIN_LEVEL)
+
+    def sample_trajectories(
+        self,
+        start_times: "list[float]",
+        durations: "list[float]",
+        segment_counts: "list[int]",
+        rngs: "list[np.random.Generator]",
+    ) -> "list[np.ndarray]":
+        """Trajectories of many parallel games, one generator per game.
+
+        Per game this produces exactly what :meth:`sample_trajectory` would
+        with the same generator — the stochastic components draw from each
+        game's own stream — but the deterministic slow component is
+        evaluated for all games in a single vectorised pass, which is what
+        makes whole-round batches cheap.
+        """
+        if not (len(start_times) == len(durations)
+                == len(segment_counts) == len(rngs)):
+            raise CloudError("trajectory batch arguments must have equal length")
+        mids: list = []
+        for t0, duration, n_segments in zip(start_times, durations, segment_counts):
+            if n_segments <= 0:
+                raise CloudError(f"n_segments must be positive, got {n_segments}")
+            if duration <= 0:
+                raise CloudError(f"duration must be positive, got {duration}")
+            dt = duration / n_segments
+            mids.append(t0 + (np.arange(n_segments) + 0.5) * dt)
+        base_all = self.epoch_mean(np.concatenate(mids)) if mids else np.empty(0)
+        bounds = np.cumsum([m.size for m in mids])[:-1]
+
+        return [
+            self._stochastic_trajectory(base, duration / n_segments, n_segments, rng)
+            for base, duration, n_segments, rng in zip(
+                np.split(base_all, bounds), durations, segment_counts, rngs
+            )
+        ]

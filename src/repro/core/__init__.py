@@ -4,7 +4,12 @@ from repro.core.barrage import BarragePlayoffs, FinalResult, PlayoffResult
 from repro.core.config import ABLATION_NAMES, DarwinGameConfig, auto_regions
 from repro.core.double_elimination import DoubleEliminationGlobalPhase, GlobalResult
 from repro.core.dynamic import DynamicFeedbackDarwinGame, FeedbackConfig
-from repro.core.game import GameReport, execution_scores_from_work, play_game
+from repro.core.game import (
+    GameReport,
+    execution_scores_from_work,
+    play_game,
+    play_round,
+)
 from repro.core.records import PlayerRecord, RecordBook
 from repro.core.swiss import RegionalResult, SwissRegionalPhase
 from repro.core.tournament import DarwinGame
@@ -30,4 +35,5 @@ __all__ = [
     "auto_regions",
     "execution_scores_from_work",
     "play_game",
+    "play_round",
 ]

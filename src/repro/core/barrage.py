@@ -23,7 +23,7 @@ from typing import List, Sequence, Tuple
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
-from repro.core.game import GameReport, play_game
+from repro.core.game import GameReport, play_game, play_round
 from repro.core.records import RecordBook
 from repro.errors import TournamentError
 
@@ -93,10 +93,14 @@ class BarragePlayoffs:
             return PlayoffResult((finalist1, seeded[2]), games=1)
 
         top, bottom = seeded[:2], seeded[2:4]
-        game1 = self._duel(top[0], top[1], "playoffs")
+        # Games 1 and 2 are independent, so they run as one round on
+        # parallel VMs; the clock advances by the longer of the two.
+        game1, game2 = play_round(
+            self.env, self.app, [top, bottom], self.config, self.records,
+            allow_early_termination=False, label="playoffs", advance_clock=True,
+        )
         finalist1 = game1.winner_index
         loser1 = top[1] if finalist1 == top[0] else top[0]
-        game2 = self._duel(bottom[0], bottom[1], "playoffs")
         winner2 = game2.winner_index
         if self.config.barrage_playoffs:
             # Barrage repechage: loser of game 1 gets a second chance.

@@ -22,7 +22,7 @@ import numpy as np
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
-from repro.core.game import play_game
+from repro.core.game import play_game, play_round
 from repro.core.records import RecordBook
 from repro.errors import TournamentError
 
@@ -133,16 +133,20 @@ class DoubleEliminationGlobalPhase:
                 math.ceil(len(main) / per_game), min(target, len(main) // 2), 1
             )
             groups = self._form_groups(main, n_games, rng)
+            # Groups play on parallel VMs: submit the whole round as one
+            # batched simulation, then judge each group.
+            playable = [group for group in groups if len(group) > 1]
+            reports = iter(play_round(
+                self.env, self.app, playable, cfg, self.records,
+                label="global", advance_clock=False,
+            ))
             round_winners: List[int] = []
             round_elapsed = 0.0
             for group in groups:
                 if len(group) == 1:
                     round_winners.extend(group)  # bye
                     continue
-                report = play_game(
-                    self.env, self.app, group, cfg, self.records,
-                    label="global", advance_clock=False,
-                )
+                report = next(reports)
                 games += 1
                 round_elapsed = max(round_elapsed, report.elapsed)
                 winner_pos = self._judge_game(group, report.execution_scores)
@@ -150,7 +154,7 @@ class DoubleEliminationGlobalPhase:
                 for pos, player in enumerate(group):
                     if pos != winner_pos:
                         losers.append(player)
-            self.env.advance(round_elapsed)  # groups play on parallel VMs
+            self.env.advance(round_elapsed)
             rounds += 1
             if len(round_winners) >= len(main):
                 break  # no reduction possible (all byes)

@@ -1,15 +1,20 @@
-"""Playing one game of the tournament.
+"""Playing games of the tournament, one parallel round at a time.
 
 A game co-locates several configurations on one VM (Sec. 3.2), reads back
 the physics-level :class:`~repro.types.GameOutcome`, converts work fractions
 into execution scores (work done relative to the fastest player, Fig. 5),
 and books the result into the :class:`~repro.core.records.RecordBook`.
+
+Games within a round run on parallel VMs, so phase drivers build all of a
+round's lineups first and submit them through :func:`play_round`, which
+simulates the whole round as one batched tensor computation;
+:func:`play_game` is the single-game round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +55,62 @@ def execution_scores_from_work(work: Sequence[float]) -> np.ndarray:
     return arr / best
 
 
+def play_round(
+    env: CloudEnvironment,
+    app: ApplicationModel,
+    lineups: Sequence[Sequence[int]],
+    config: DarwinGameConfig,
+    records: RecordBook,
+    *,
+    allow_early_termination: bool = True,
+    label: str = "game",
+    advance_clock: bool = False,
+) -> List[GameReport]:
+    """Run one round of co-located games (one parallel VM each), book scores.
+
+    The whole round is simulated as a single batched tensor computation
+    (:meth:`~repro.cloud.environment.CloudEnvironment.run_colocated_batch`);
+    scores and records are booked per game in lineup order.  With
+    ``advance_clock`` True the clock advances by the round's longest game.
+
+    ``allow_early_termination`` is overridden to False for playoffs and the
+    final, which the paper always plays to completion.
+    """
+    validated: List[List[int]] = []
+    for indices in lineups:
+        players = [int(i) for i in indices]
+        if len(players) < 1:
+            raise TournamentError("a game needs at least one player")
+        if len(set(players)) != len(players):
+            raise TournamentError(f"duplicate players in game: {players}")
+        validated.append(players)
+    if not validated:
+        return []
+
+    early = allow_early_termination and config.early_termination
+    outcomes = env.run_colocated_batch(
+        app,
+        validated,
+        work_deviation=config.work_deviation if early else None,
+        min_work_for_termination=config.min_work_for_termination,
+        label=label,
+        advance_clock=advance_clock,
+    )
+    reports: List[GameReport] = []
+    for players, outcome in zip(validated, outcomes):
+        scores = execution_scores_from_work(outcome.work)
+        winner_pos = records.record_game(players, scores)
+        reports.append(
+            GameReport(
+                indices=tuple(players),
+                execution_scores=tuple(float(s) for s in scores),
+                winner_position=winner_pos,
+                outcome=outcome,
+            )
+        )
+    return reports
+
+
 def play_game(
     env: CloudEnvironment,
     app: ApplicationModel,
@@ -61,33 +122,18 @@ def play_game(
     label: str = "game",
     advance_clock: bool = False,
 ) -> GameReport:
-    """Run one co-located game and book its scores.
+    """Run one co-located game and book its scores (a one-game round).
 
-    ``allow_early_termination`` is overridden to False for playoffs and the
-    final, which the paper always plays to completion.  With
-    ``advance_clock=False`` (default) the caller advances simulated time once
-    per round, because games within a round run on parallel VMs.
+    With ``advance_clock=False`` (default) the caller advances simulated
+    time once per round, because games within a round run on parallel VMs.
     """
-    players = [int(i) for i in indices]
-    if len(players) < 1:
-        raise TournamentError("a game needs at least one player")
-    if len(set(players)) != len(players):
-        raise TournamentError(f"duplicate players in game: {players}")
-
-    early = allow_early_termination and config.early_termination
-    outcome = env.run_colocated(
+    return play_round(
+        env,
         app,
-        players,
-        work_deviation=config.work_deviation if early else None,
-        min_work_for_termination=config.min_work_for_termination,
+        [indices],
+        config,
+        records,
+        allow_early_termination=allow_early_termination,
         label=label,
         advance_clock=advance_clock,
-    )
-    scores = execution_scores_from_work(outcome.work)
-    winner_pos = records.record_game(players, scores)
-    return GameReport(
-        indices=tuple(players),
-        execution_scores=tuple(float(s) for s in scores),
-        winner_position=winner_pos,
-        outcome=outcome,
-    )
+    )[0]

@@ -8,12 +8,16 @@ Two scores drive DarwinGame's decisions (Figs. 5 and 7):
   player has played so far, where rank is the player's execution-score rank
   within each game.  High consistency means the configuration performs well
   repeatedly, under different noise and different opponents.
+
+Bookkeeping is incremental: :meth:`RecordBook.record_game` maintains flat
+running-sum arrays, so the vectorised score queries the selection loops
+issue on every draw are O(1) array gathers instead of re-averaging the full
+history, no matter how many games have been played.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,15 +25,56 @@ from repro.analysis.stats import rank_with_ties
 from repro.errors import TournamentError
 
 
-@dataclass
 class PlayerRecord:
-    """Everything the tournament remembers about one configuration."""
+    """Everything the tournament remembers about one configuration.
 
-    index: int
-    region_id: int = -1
-    execution_scores: List[float] = field(default_factory=list)
-    inverse_ranks: List[float] = field(default_factory=list)
-    wins: int = 0
+    The per-game history lists are the record's only state; the score
+    properties derive from them on read.  (Bulk reads go through the
+    :class:`RecordBook` flat arrays instead — per-record property reads are
+    off the hot path.  A plain ``__slots__`` class, because the tournament
+    creates one record per player it ever touches.)
+    """
+
+    __slots__ = (
+        "index", "region_id", "execution_scores", "inverse_ranks", "wins",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        region_id: int = -1,
+        execution_scores: Optional[List[float]] = None,
+        inverse_ranks: Optional[List[float]] = None,
+        wins: int = 0,
+    ) -> None:
+        self.index = index
+        self.region_id = region_id
+        self.execution_scores = execution_scores if execution_scores is not None else []
+        self.inverse_ranks = inverse_ranks if inverse_ranks is not None else []
+        self.wins = wins
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlayerRecord(index={self.index!r}, region_id={self.region_id!r}, "
+            f"execution_scores={self.execution_scores!r}, "
+            f"inverse_ranks={self.inverse_ranks!r}, wins={self.wins!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlayerRecord):
+            return NotImplemented
+        return (
+            self.index == other.index
+            and self.region_id == other.region_id
+            and self.execution_scores == other.execution_scores
+            and self.inverse_ranks == other.inverse_ranks
+            and self.wins == other.wins
+        )
+
+    def add_result(self, execution_score: float, inverse_rank: float) -> None:
+        """Book one game's score and inverse rank."""
+        self.execution_scores.append(execution_score)
+        self.inverse_ranks.append(inverse_rank)
 
     @property
     def games_played(self) -> int:
@@ -40,21 +85,34 @@ class PlayerRecord:
         """Average execution score; 0.0 before the first game."""
         if not self.execution_scores:
             return 0.0
-        return float(np.mean(self.execution_scores))
+        return sum(self.execution_scores) / len(self.execution_scores)
 
     @property
     def consistency_score(self) -> float:
         """Mean of 1/rank over all games (Fig. 7); 0.0 before the first game."""
         if not self.inverse_ranks:
             return 0.0
-        return float(np.mean(self.inverse_ranks))
+        return sum(self.inverse_ranks) / len(self.inverse_ranks)
 
 
 class RecordBook:
-    """Registry of :class:`PlayerRecord` keyed by configuration index."""
+    """Registry of :class:`PlayerRecord` keyed by configuration index.
+
+    Beside the per-player records, the book maintains flat score-sum /
+    game-count arrays indexed by insertion slot, which turn
+    :meth:`mean_execution_scores` and :meth:`consistency_scores` into pure
+    array gathers — the hot path of veteran selection and winner banding.
+    """
+
+    _INITIAL_CAPACITY = 64
 
     def __init__(self) -> None:
         self._records: Dict[int, PlayerRecord] = {}
+        self._slots: Dict[int, int] = {}
+        cap = self._INITIAL_CAPACITY
+        self._score_sums = np.zeros(cap)
+        self._rank_sums = np.zeros(cap)
+        self._games = np.zeros(cap, dtype=np.int64)
         self._total_evaluations = 0
 
     def __len__(self) -> int:
@@ -63,6 +121,22 @@ class RecordBook:
     def __contains__(self, index: int) -> bool:
         return int(index) in self._records
 
+    def _grow(self) -> None:
+        cap = 2 * len(self._score_sums)
+        for name in ("_score_sums", "_rank_sums", "_games"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=old.dtype)
+            new[: len(old)] = old
+            setattr(self, name, new)
+
+    def _slot_of(self, key: int) -> int:
+        """Slot of (creating, like :meth:`get`) the record of ``key``."""
+        slot = self._slots.get(key)
+        if slot is None:
+            self.get(key)
+            slot = self._slots[key]
+        return slot
+
     def get(self, index: int) -> PlayerRecord:
         """Fetch (creating if needed) the record of a configuration."""
         key = int(index)
@@ -70,6 +144,10 @@ class RecordBook:
         if record is None:
             record = PlayerRecord(index=key)
             self._records[key] = record
+            slot = len(self._slots)
+            if slot >= len(self._score_sums):
+                self._grow()
+            self._slots[key] = slot
         return record
 
     def assign_region(self, index: int, region_id: int) -> None:
@@ -90,10 +168,26 @@ class RecordBook:
         scores = np.asarray(execution_scores, dtype=float)
         ranks = rank_with_ties(scores, descending=True)
         winner_pos = int(np.argmax(scores))
+        records = self._records
+        slots = self._slots
+        score_sums, rank_sums, games = self._score_sums, self._rank_sums, self._games
+        score_list = scores.tolist()
+        inverse_list = (1.0 / np.asarray(ranks, dtype=float)).tolist()
         for pos, index in enumerate(indices):
-            record = self.get(int(index))
-            record.execution_scores.append(float(scores[pos]))
-            record.inverse_ranks.append(1.0 / float(ranks[pos]))
+            key = int(index)
+            record = records.get(key)
+            if record is None:
+                record = self.get(key)
+                score_sums, rank_sums, games = (  # get() may have regrown them
+                    self._score_sums, self._rank_sums, self._games,
+                )
+            score = score_list[pos]
+            inverse_rank = inverse_list[pos]
+            record.add_result(score, inverse_rank)
+            slot = slots[key]
+            score_sums[slot] += score
+            rank_sums[slot] += inverse_rank
+            games[slot] += 1
         self.get(int(indices[winner_pos])).wins += 1
         self._total_evaluations += len(indices)
         return winner_pos
@@ -103,11 +197,23 @@ class RecordBook:
         """Application executions paid for (a k-player game counts k)."""
         return self._total_evaluations
 
+    def _gather_slots(self, indices: Sequence[int]) -> np.ndarray:
+        table = self._slots
+        try:
+            return np.array([table[int(i)] for i in indices], dtype=np.int64)
+        except KeyError:
+            # Rare: some records do not exist yet — create them (like get()).
+            return np.array(
+                [self._slot_of(int(i)) for i in indices], dtype=np.int64
+            )
+
     def mean_execution_scores(self, indices: Sequence[int]) -> np.ndarray:
-        return np.array([self.get(int(i)).mean_execution_score for i in indices])
+        slots = self._gather_slots(indices)
+        return self._score_sums[slots] / np.maximum(self._games[slots], 1)
 
     def consistency_scores(self, indices: Sequence[int]) -> np.ndarray:
-        return np.array([self.get(int(i)).consistency_score for i in indices])
+        slots = self._gather_slots(indices)
+        return self._rank_sums[slots] / np.maximum(self._games[slots], 1)
 
     def combined_rank_order(
         self,
@@ -125,11 +231,11 @@ class RecordBook:
         if not use_execution and not use_consistency:
             raise TournamentError("at least one score must be used for ranking")
         total = np.zeros(len(indices), dtype=float)
+        exec_scores = self.mean_execution_scores(indices)
         if use_execution:
-            total += rank_with_ties(self.mean_execution_scores(indices), descending=True)
+            total += rank_with_ties(exec_scores, descending=True)
         if use_consistency:
             total += rank_with_ties(self.consistency_scores(indices), descending=True)
         # Tie-break deterministically on execution score, then index.
-        exec_scores = self.mean_execution_scores(indices)
         keys = list(zip(total, -exec_scores, [int(i) for i in indices]))
         return np.array(sorted(range(len(indices)), key=lambda p: keys[p]), dtype=np.int64)

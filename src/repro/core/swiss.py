@@ -12,20 +12,26 @@ time" (the champion), when the pool of new players is exhausted, or when the
 round cap is hit.  Everyone whose mean execution score is within the work
 deviation ``d`` of the champion's advances — so regions with several strong
 candidates send several winners to the global phase.
+
+Regions play on parallel VMs, so :meth:`SwissRegionalPhase.run_all` advances
+*all* regions in lockstep: each iteration collects one lineup per still-open
+region and submits the whole round through :func:`~repro.core.game.play_round`
+as a single batched simulation.  :meth:`SwissRegionalPhase.run_region` runs
+one region to termination on its own (the sequential special case).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
-from repro.core.game import play_game
+from repro.core.game import GameReport, play_round
 from repro.core.records import RecordBook
 from repro.errors import TournamentError
 from repro.space.regions import Region
@@ -51,8 +57,168 @@ class RegionalResult:
 _SELECTION_SHARPNESS = 4.0
 
 
+class _RegionRun:
+    """Stepwise state machine of one region: one lineup per round.
+
+    ``next_lineup`` returns the lineup the region wants to play this round
+    (or ``None`` once the region has terminated); ``observe`` books the
+    played game's report back into the state.  The driver decides whether
+    rounds from many regions are simulated together (lockstep batches) or
+    one region at a time — the machine is oblivious.
+    """
+
+    def __init__(
+        self, phase: "SwissRegionalPhase", region: Region, rng: np.random.Generator
+    ) -> None:
+        self.phase = phase
+        self.region = region
+        self.rng = rng
+        self.games = 0
+        self.elapsed = 0.0
+        self.champion = -1
+        self.streak = 0
+        self.round_no = 0
+        self.done = False
+        # Ordered set of everyone who has played (and so carries a score):
+        # position map plus the matching list, maintained incrementally.
+        self._played: Dict[int, int] = {}
+        self._played_list: List[int] = []
+        self._assigned: set = set()
+        self._lineup: Optional[List[int]] = None
+        self._lone: Optional[int] = None
+        self._swiss = phase.config.swiss_style
+
+        cfg = phase.config
+        self.players_per_game = phase._players_per_game(region)
+        if region.size == 1:
+            # Degenerate single-point region: the lone config advances unplayed.
+            self._lone = region.start
+            phase.records.assign_region(self._lone, region.region_id)
+            self.done = True
+            return
+
+        if self._swiss:
+            self._fresh: Optional[List[int]] = (
+                [int(i) for i in region.sample(region.size, rng, replace=False)]
+                if region.size <= 4 * self.players_per_game else None
+            )
+            # Large regions draw new players lazily instead of materialising all.
+            self._drawn: set = set()
+            max_rounds = cfg.max_regional_rounds
+            if max_rounds is None:
+                newcomers = max(1, self.players_per_game // 2)
+                max_rounds = min(64, math.ceil(region.size / newcomers) + 2)
+            self.max_rounds = max_rounds
+        else:
+            self.max_rounds = 1
+
+    # -- drawing newcomers -------------------------------------------------
+
+    def _draw_new(self, n: int) -> List[int]:
+        if self._fresh is not None:
+            out = self._fresh[:n]
+            del self._fresh[:n]
+            return [int(i) for i in out]
+        out: List[int] = []
+        attempts = 0
+        while len(out) < n and attempts < 20:
+            batch = self.region.sample(max(2 * n, 8), self.rng)
+            for i in batch:
+                iv = int(i)
+                if iv not in self._drawn:
+                    self._drawn.add(iv)
+                    out.append(iv)
+                    if len(out) == n:
+                        break
+            attempts += 1
+        return out
+
+    # -- the round protocol ------------------------------------------------
+
+    def next_lineup(self) -> Optional[List[int]]:
+        """Lineup this region wants to play now; ``None`` once terminated."""
+        if self.done:
+            return None
+        if not self._swiss:
+            lineup = [int(i) for i in self.region.sample(
+                min(self.players_per_game, self.region.size), self.rng,
+                replace=False,
+            )]
+        elif self.round_no >= self.max_rounds:
+            self.done = True
+            return None
+        elif self.round_no == 0:
+            lineup = self._draw_new(self.players_per_game)
+        else:
+            n_new = self.players_per_game // 2
+            newcomers = self._draw_new(n_new)
+            veterans = self.phase._select_veterans(
+                self._played_list, self._played, self.champion,
+                self.players_per_game - len(newcomers), self.rng,
+            )
+            lineup = veterans + newcomers
+        lineup = list(dict.fromkeys(lineup))
+        if len(lineup) < 2:
+            self.done = True
+            return None
+        for idx in lineup:
+            if idx not in self._assigned:
+                self._assigned.add(idx)
+                self.phase.records.assign_region(idx, self.region.region_id)
+        self._lineup = lineup
+        return lineup
+
+    def observe(self, report: GameReport) -> None:
+        """Book one played round back into the region's state."""
+        self.games += 1
+        self.elapsed += report.elapsed
+        played = self._played
+        for idx in self._lineup or ():
+            if idx not in played:
+                played[idx] = len(played)
+                self._played_list.append(idx)
+        self._lineup = None
+        self.round_no += 1
+
+        if not self._swiss:
+            self.champion = report.winner_index
+            self.done = True
+            return
+        if report.winner_index == self.champion:
+            self.streak += 1
+        else:
+            self.champion = report.winner_index
+            self.streak = 1
+        if self.streak >= self.phase.config.regional_win_streak:
+            self.done = True
+        elif self._fresh is not None and not self._fresh:
+            self.done = True
+
+    def result(self) -> RegionalResult:
+        """The region's final :class:`RegionalResult` (after termination)."""
+        region = self.region
+        if self._lone is not None:
+            return RegionalResult(
+                region_id=region.region_id, winners=(self._lone,),
+                champion=self._lone, rounds=0, games=0, elapsed=0.0,
+            )
+        if self.champion < 0:
+            raise TournamentError(
+                f"region {region.region_id} terminated without playing a game"
+            )
+        winners = self.phase._winner_band(self._played_list, self.champion)
+        return RegionalResult(
+            region_id=region.region_id,
+            winners=tuple(winners),
+            champion=self.champion,
+            rounds=self.games if not self._swiss else min(self.max_rounds, self.games),
+            games=self.games,
+            elapsed=self.elapsed,
+        )
+
+
 class SwissRegionalPhase:
-    """Runs the Swiss-style tournament inside one region at a time."""
+    """Runs the Swiss-style tournaments of the regions."""
 
     def __init__(
         self,
@@ -69,126 +235,86 @@ class SwissRegionalPhase:
     # -- player selection ------------------------------------------------
 
     def _select_veterans(
-        self, played: List[int], champion: int, n: int, rng: np.random.Generator
+        self,
+        members: List[int],
+        positions: Dict[int, int],
+        champion: int,
+        n: int,
+        rng: np.random.Generator,
     ) -> List[int]:
-        """Pick ``n`` previously scored players, champion always included."""
+        """Pick ``n`` previously scored players, champion always included.
+
+        ``members`` is the ordered list of scored players and ``positions``
+        its index map, both maintained incrementally by the caller — so the
+        membership test is O(1) and the selection weights come from one
+        vectorised score gather instead of a per-player pool rebuild.
+        """
         if n <= 0:
             return []
-        chosen: List[int] = [champion] if champion in played else []
-        pool = [p for p in played if p not in chosen]
+        champion_pos = positions.get(champion)
+        chosen: List[int] = [champion] if champion_pos is not None else []
         want = n - len(chosen)
-        if want > 0 and pool:
-            scores = self.records.mean_execution_scores(pool)
+        if want > 0 and len(members) > len(chosen):
+            scores = self.records.mean_execution_scores(members)
             weights = np.power(np.maximum(scores, 1e-6), _SELECTION_SHARPNESS)
-            weights = weights / weights.sum()
-            take = min(want, len(pool))
-            picks = rng.choice(len(pool), size=take, replace=False, p=weights)
-            chosen.extend(pool[int(p)] for p in picks)
+            if champion_pos is not None:
+                weights[champion_pos] = 0.0
+            total = weights.sum()
+            if total > 0:
+                take = min(want, len(members) - len(chosen))
+                picks = rng.choice(
+                    len(members), size=take, replace=False, p=weights / total
+                )
+                chosen.extend(members[int(p)] for p in picks)
         return chosen[:n]
 
     # -- the phase ---------------------------------------------------------
 
     def run_region(self, region: Region, rng: np.random.Generator) -> RegionalResult:
-        """Play the Swiss tournament of one region to termination."""
-        cfg = self.config
-        players_per_game = self._players_per_game(region)
+        """Play the Swiss tournament of one region to termination.
 
-        if region.size == 1:
-            # Degenerate single-point region: the lone config advances unplayed.
-            lone = region.start
-            self.records.assign_region(lone, region.region_id)
-            return RegionalResult(
-                region_id=region.region_id, winners=(lone,), champion=lone,
-                rounds=0, games=0, elapsed=0.0,
+        The one-region lockstep: identical drive protocol (and RNG
+        consumption) to :meth:`run_all`, because a one-game round is exactly
+        a single game.
+        """
+        return self.run_all([region], [rng])[0]
+
+    def run_all(
+        self, regions: Sequence[Region], rngs: Sequence[np.random.Generator]
+    ) -> List[RegionalResult]:
+        """Play all regions in lockstep, one batched round per iteration.
+
+        Regions run on parallel VMs, so round ``r`` of every still-open
+        region forms one batch submitted through
+        :func:`~repro.core.game.play_round`; regions drop out of the
+        lockstep as they terminate.  The simulated clock is *not* advanced
+        here — per-region elapsed times are reported in the results so the
+        caller advances once by the slowest region, as before.
+        """
+        if len(regions) != len(rngs):
+            raise TournamentError(
+                f"need one rng per region, got {len(rngs)} for {len(regions)}"
             )
-
-        if not cfg.swiss_style:
-            return self._single_game_region(region, players_per_game, rng)
-
-        fresh = list(region.sample(region.size, rng, replace=False)) \
-            if region.size <= 4 * players_per_game else None
-        # Large regions draw new players lazily instead of materialising all.
-        drawn: set = set()
-
-        def draw_new(n: int) -> List[int]:
-            if fresh is not None:
-                out = fresh[:n]
-                del fresh[:n]
-                return [int(i) for i in out]
-            out = []
-            attempts = 0
-            while len(out) < n and attempts < 20:
-                batch = region.sample(max(2 * n, 8), rng)
-                for i in batch:
-                    iv = int(i)
-                    if iv not in drawn:
-                        drawn.add(iv)
-                        out.append(iv)
-                        if len(out) == n:
-                            break
-                attempts += 1
-            return out
-
-        max_rounds = cfg.max_regional_rounds
-        if max_rounds is None:
-            newcomers = max(1, players_per_game // 2)
-            max_rounds = min(64, math.ceil(region.size / newcomers) + 2)
-
-        played: List[int] = []
-        champion = -1
-        streak = 0
-        games = 0
-        elapsed = 0.0
-
-        for round_no in range(max_rounds):
-            if round_no == 0:
-                lineup = draw_new(players_per_game)
-            else:
-                n_new = players_per_game // 2
-                newcomers = draw_new(n_new)
-                veterans = self._select_veterans(
-                    played, champion, players_per_game - len(newcomers), rng
-                )
-                lineup = veterans + newcomers
-            lineup = list(dict.fromkeys(lineup))
-            if len(lineup) < 2:
+        runs = [_RegionRun(self, r, g) for r, g in zip(regions, rngs)]
+        open_runs = [run for run in runs if not run.done]
+        while open_runs:
+            pending = []
+            lineups = []
+            for run in open_runs:
+                lineup = run.next_lineup()
+                if lineup is not None:
+                    pending.append(run)
+                    lineups.append(lineup)
+            if not pending:
                 break
-            for idx in lineup:
-                self.records.assign_region(idx, region.region_id)
-
-            report = play_game(
-                self.env, self.app, lineup, cfg, self.records,
+            reports = play_round(
+                self.env, self.app, lineups, self.config, self.records,
                 label="regional", advance_clock=False,
             )
-            games += 1
-            elapsed += report.elapsed
-            for idx in lineup:
-                if idx not in played:
-                    played.append(idx)
-
-            if report.winner_index == champion:
-                streak += 1
-            else:
-                champion = report.winner_index
-                streak = 1
-            if streak >= cfg.regional_win_streak:
-                break
-            if fresh is not None and not fresh:
-                break
-
-        if champion < 0:
-            raise TournamentError(
-                f"region {region.region_id} terminated without playing a game"
-            )
-        winners = self._winner_band(played, champion)
-        return RegionalResult(
-            region_id=region.region_id,
-            winners=tuple(winners),
-            champion=champion,
-            rounds=games if not cfg.swiss_style else min(max_rounds, games),
-            games=games,
-            elapsed=elapsed,
-        )
+            for run, report in zip(pending, reports):
+                run.observe(report)
+            open_runs = [run for run in pending if not run.done]
+        return [run.result() for run in runs]
 
     # -- helpers -----------------------------------------------------------
 
@@ -199,46 +325,14 @@ class SwissRegionalPhase:
         configured = cfg.players_per_game or min(32, self.env.vm.vcpus)
         return max(2, min(configured, self.env.vm.vcpus, region.size))
 
-    def _single_game_region(
-        self, region: Region, players_per_game: int, rng: np.random.Generator
-    ) -> RegionalResult:
-        """Ablation "w/o Swiss": one game among randomly chosen players."""
-        lineup = [int(i) for i in region.sample(
-            min(players_per_game, region.size), rng, replace=False
-        )]
-        if len(lineup) == 1:
-            # Degenerate single-point region: the lone config advances unplayed.
-            self.records.assign_region(lineup[0], region.region_id)
-            return RegionalResult(
-                region_id=region.region_id, winners=(lineup[0],),
-                champion=lineup[0], rounds=0, games=0, elapsed=0.0,
-            )
-        for idx in lineup:
-            self.records.assign_region(idx, region.region_id)
-        report = play_game(
-            self.env, self.app, lineup, self.config, self.records,
-            label="regional", advance_clock=False,
-        )
-        winners = self._winner_band(lineup, report.winner_index)
-        return RegionalResult(
-            region_id=region.region_id,
-            winners=tuple(winners),
-            champion=report.winner_index,
-            rounds=1,
-            games=1,
-            elapsed=report.elapsed,
-        )
-
     def _winner_band(self, played: List[int], champion: int) -> List[int]:
         """All players within deviation ``d`` of the champion's mean score."""
         if self.config.one_winner_per_region:
             return [champion]
         champ_score = self.records.get(champion).mean_execution_score
         threshold = (1.0 - self.config.work_deviation) * champ_score
-        band = [
-            p for p in played
-            if self.records.get(p).mean_execution_score >= threshold
-        ]
+        scores = self.records.mean_execution_scores(played)
+        band = [p for p, s in zip(played, scores) if s >= threshold]
         if champion not in band:
             band.insert(0, champion)
         return band

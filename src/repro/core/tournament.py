@@ -77,8 +77,9 @@ class DarwinGame:
         durations: List[float] = []
         games = 0
         rounds = 0
-        for region, region_rng in zip(regions, region_rngs):
-            result = swiss.run_region(region, region_rng)
+        # Regions advance in lockstep: round r of every open region is
+        # simulated as one batch (regions play on parallel VMs).
+        for result in swiss.run_all(regions, region_rngs):
             entrants.extend(result.winners)
             durations.append(result.elapsed)
             games += result.games

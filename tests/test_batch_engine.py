@@ -1,0 +1,139 @@
+"""Tests for the batched round engine (vectorised multi-game simulation).
+
+The engine's contract: a round of games simulated as one stacked tensor
+computation books exactly what the same games would book one at a time,
+because every game draws from its own child generator keyed by its position
+in the round.  These tests pin that equivalence, the determinism of whole
+tunes, and the round semantics of ``play_round``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.vm import PRESETS
+from repro.core.config import DarwinGameConfig
+from repro.core.game import play_game, play_round
+from repro.core.records import RecordBook
+from repro.core.tournament import DarwinGame
+
+VM = PRESETS["m5.8xlarge"]
+
+_APP = make_application("redis", scale="test")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return _APP
+
+
+def env(seed=0):
+    return CloudEnvironment(VM, seed=seed)
+
+
+class TestBatchMatchesSingle:
+    @given(
+        st.integers(2, 12),
+        st.integers(0, 2_000),
+        st.sampled_from([None, 0.10, 0.25]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_game_batch_identical(self, k, seed, deviation):
+        """``run_colocated_batch([g])`` == ``run_colocated(g)``: same spawned
+        child generator, same outcome, same core-hours."""
+        application = _APP
+        lineup = application.space.sample_indices(k, seed=seed, replace=False)
+        env_a, env_b = env(seed), env(seed)
+        single = env_a.run_colocated(
+            application, lineup, work_deviation=deviation, advance_clock=False
+        )
+        batched = env_b.run_colocated_batch(
+            application, [lineup], work_deviation=deviation
+        )[0]
+        assert single == batched
+        assert env_a.ledger.core_hours == env_b.ledger.core_hours
+
+    def test_round_split_invariant(self, app):
+        """Splitting a round into smaller batches cannot change outcomes:
+        child generators are keyed by cumulative game order."""
+        lineups = [
+            app.space.sample_indices(6, seed=s, replace=False) for s in range(4)
+        ]
+        env_whole, env_split = env(3), env(3)
+        whole = env_whole.run_colocated_batch(app, lineups, work_deviation=0.1)
+        split = (
+            env_split.run_colocated_batch(app, lineups[:1], work_deviation=0.1)
+            + env_split.run_colocated_batch(app, lineups[1:3], work_deviation=0.1)
+            + env_split.run_colocated_batch(app, lineups[3:], work_deviation=0.1)
+        )
+        assert whole == split
+        assert env_whole.ledger.core_hours == pytest.approx(
+            env_split.ledger.core_hours
+        )
+
+    def test_play_round_matches_play_game_sequence(self, app):
+        """One ``play_round`` books the same scores/records as the same
+        lineups played one game at a time."""
+        cfg = DarwinGameConfig(seed=0)
+        lineups = [
+            list(app.space.sample_indices(5, seed=10 + s, replace=False))
+            for s in range(3)
+        ]
+        env_round, env_seq = env(7), env(7)
+        records_round, records_seq = RecordBook(), RecordBook()
+        reports_round = play_round(
+            env_round, app, lineups, cfg, records_round, label="t"
+        )
+        reports_seq = [
+            play_game(env_seq, app, lineup, cfg, records_seq, label="t")
+            for lineup in lineups
+        ]
+        for a, b in zip(reports_round, reports_seq):
+            assert a.indices == b.indices
+            assert a.execution_scores == b.execution_scores
+            assert a.winner_position == b.winner_position
+            assert a.outcome == b.outcome
+        for lineup in lineups:
+            for p in lineup:
+                assert (
+                    records_round.get(p).execution_scores
+                    == records_seq.get(p).execution_scores
+                )
+
+    def test_round_advances_clock_by_longest_game(self, app):
+        lineups = [
+            app.space.sample_indices(4, seed=s, replace=False) for s in range(3)
+        ]
+        e = env(5)
+        outcomes = e.run_colocated_batch(app, lineups, advance_clock=True)
+        assert e.now == pytest.approx(max(o.elapsed for o in outcomes))
+
+    def test_every_game_billed_in_full(self, app):
+        lineups = [
+            app.space.sample_indices(4, seed=s, replace=False) for s in range(3)
+        ]
+        e = env(5)
+        outcomes = e.run_colocated_batch(app, lineups, label="round")
+        expected = VM.vcpus * sum(o.elapsed for o in outcomes) / 3600.0
+        assert e.ledger.core_hours == pytest.approx(expected)
+
+    def test_empty_round(self, app):
+        assert env().run_colocated_batch(app, []) == []
+
+
+class TestTuneDeterminism:
+    def test_same_seed_same_winner(self, app):
+        """Two tunes with the same seeds pick the same winner and bill the
+        same core-hours — the batched engine is seed-deterministic."""
+        results = []
+        for _ in range(2):
+            e = env(9)
+            results.append(DarwinGame(DarwinGameConfig(seed=5)).tune(app, e))
+        assert results[0].best_index == results[1].best_index
+        assert results[0].core_hours == pytest.approx(results[1].core_hours)
+        assert results[0].evaluations == results[1].evaluations
+        assert results[0].tuning_seconds == pytest.approx(
+            results[1].tuning_seconds
+        )
