@@ -1,0 +1,113 @@
+"""Sweep-throughput benchmark: the Table-1 grid through the campaign runner.
+
+The ISSUE 2 acceptance workload: run the Table 1 applications (test scale,
+two seeds each — 8 campaigns) serially and with ``--jobs 2``, assert the
+parallel sweep reproduces serial results bit for bit, and record
+campaigns-per-minute for both in the BENCH.jsonl perf trajectory (each
+entry carries its ``jobs``).
+
+The speedup assertion is conditional on the machine actually having more
+than one visible core — on a single-core runner a process pool can only
+add overhead, so there we only bound that overhead.
+
+Run via ``scripts/bench.sh``, or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_sweep.py -s
+"""
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from repro.campaigns import CampaignRunner, default_jobs, summarise
+from repro.campaigns import runner as campaign_runner
+from repro.experiments.table1 import table1_grid
+
+_JOBS = 2
+
+
+def _cold_run(jobs: int, specs):
+    """Run the grid with a cold per-process app cache.
+
+    The serial run would otherwise warm the parent's ``_APP_CACHE`` that a
+    fork-based pool inherits, biasing the serial-vs-parallel comparison.
+    """
+    campaign_runner._APP_CACHE.clear()
+    return CampaignRunner(jobs=jobs).run(specs)
+
+
+def _record(payload: dict) -> None:
+    line = json.dumps(payload, sort_keys=True)
+    print(f"\n[perf] {line}")
+    out = os.environ.get("BENCH_JSON")
+    if out:
+        with open(out, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+
+@pytest.mark.benchmark
+def test_sweep_parallel_matches_serial_and_throughput():
+    grid = table1_grid(scale="test", seeds=(0, 1), eval_runs=50)
+    specs = list(grid.specs())
+    assert len(specs) == 8
+
+    serial = _cold_run(1, specs)
+    parallel = _cold_run(_JOBS, specs)
+
+    # Acceptance: same campaign IDs => same results, bit for bit.
+    assert json.dumps([r.to_payload() for r in serial.records], sort_keys=True) \
+        == json.dumps([r.to_payload() for r in parallel.records], sort_keys=True)
+    assert summarise(serial.records).to_json() \
+        == summarise(parallel.records).to_json()
+
+    for report in (serial, parallel):
+        _record(
+            {
+                "benchmark": "sweep_table1_test_2seeds",
+                "date": time.strftime("%Y-%m-%d"),
+                "jobs": report.jobs,
+                "campaigns": report.executed,
+                "wall_seconds": round(report.wall_seconds, 3),
+                "campaigns_per_minute": round(report.campaigns_per_minute, 1),
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "cores": default_jobs(),
+            }
+        )
+
+    if default_jobs() > 1:
+        # With real cores available the pool must beat serial outright.
+        assert parallel.wall_seconds < serial.wall_seconds, (
+            f"--jobs {_JOBS} sweep ({parallel.wall_seconds:.2f}s) not faster "
+            f"than serial ({serial.wall_seconds:.2f}s) on a "
+            f"{default_jobs()}-core machine"
+        )
+    else:
+        # Single visible core: only bound the pool's overhead.
+        assert parallel.wall_seconds < 3.0 * serial.wall_seconds + 1.0, (
+            f"worker-pool overhead blew up: serial {serial.wall_seconds:.2f}s "
+            f"vs --jobs {_JOBS} {parallel.wall_seconds:.2f}s"
+        )
+
+
+@pytest.mark.benchmark
+def test_resume_after_interruption_reuses_stored_campaigns(tmp_path):
+    grid = table1_grid(scale="test", seeds=(0, 1), eval_runs=50)
+    specs = list(grid.specs())
+
+    from repro.campaigns import CampaignStore
+
+    store = CampaignStore(tmp_path / "sweep.jsonl")
+    store.write_grid(grid)
+    CampaignRunner(jobs=1, store=store).run(specs[: len(specs) // 2])
+
+    resumed = CampaignRunner(jobs=_JOBS, store=store).run(specs)
+    assert resumed.skipped == len(specs) // 2
+    assert resumed.executed == len(specs) - len(specs) // 2
+
+    fresh = CampaignRunner(jobs=1).run(specs)
+    assert summarise(resumed.records).to_json() \
+        == summarise(fresh.records).to_json()

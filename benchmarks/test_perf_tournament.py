@@ -7,8 +7,8 @@ under the pre-batching baseline (~9.0 s on the reference machine, ~6.0 s on
 the machine that recorded the ROADMAP "Performance" entry; the batched
 engine runs it in well under 2 s on either).
 
-Run via ``scripts/bench.sh`` to append the measurement to a
-``BENCH_<date>.json`` perf-trajectory file, or directly::
+Run via ``scripts/bench.sh`` to append the measurement to the repo's
+``BENCH.jsonl`` perf-trajectory file, or directly::
 
     PYTHONPATH=src python -m pytest benchmarks/test_perf_tournament.py -s
 
@@ -59,6 +59,7 @@ def test_tune_wall_time_regression():
         {
             "benchmark": "tune_redis_m5.8xlarge_seed7_1",
             "date": time.strftime("%Y-%m-%d"),
+            "jobs": 1,  # one tune() is a single campaign; sweeps record theirs
             "wall_seconds": round(wall, 3),
             "speedup_vs_seed_baseline": round(_BASELINE_SECONDS / wall, 2),
             "winner_index": int(result.best_index),

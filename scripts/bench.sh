@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
-# Run the perf-regression benchmark and append the measurement to a
-# BENCH_<date>.json perf-trajectory file in the repo root, one JSON object
-# per line.  Extra arguments are passed through to pytest.
+# Run the perf-regression benchmarks and append each measurement to the
+# single BENCH.jsonl perf-trajectory file in the repo root, one JSON object
+# per line.  Legacy per-date BENCH_<date>.json files (the pre-ISSUE-2
+# format) are migrated into BENCH.jsonl on sight, so the trajectory never
+# splinters across files again.  Extra arguments are passed through to
+# pytest.
 #
-#   scripts/bench.sh            # run + append to BENCH_YYYY-MM-DD.json
-#   scripts/bench.sh -k wall    # only the wall-time gate
+#   scripts/bench.sh            # run all perf benchmarks + append
+#   scripts/bench.sh -k wall    # only the tune() wall-time gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_$(date +%Y-%m-%d).json"
+out="BENCH.jsonl"
+
+# One-time migration of the fragmented per-date trajectory files.
+shopt -s nullglob
+for legacy in BENCH_*.json; do
+    echo "migrating $legacy into $out"
+    cat "$legacy" >> "$out"
+    rm "$legacy"
+done
+shopt -u nullglob
+
 BENCH_JSON="$out" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python -m pytest benchmarks/test_perf_tournament.py -q -s -m benchmark "$@"
+    python -m pytest benchmarks/test_perf_tournament.py \
+        benchmarks/test_perf_sweep.py -q -s -m benchmark "$@"
 echo "perf trajectory appended to $out"

@@ -21,6 +21,16 @@ from repro.apps import (
     make_lammps,
     make_redis,
 )
+from repro.campaigns import (
+    CampaignGrid,
+    CampaignRecord,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStore,
+    SweepReport,
+    SweepSummary,
+    summarise,
+)
 from repro.cloud import (
     DEFAULT_VM,
     PRESETS,
@@ -55,6 +65,11 @@ __all__ = [
     "ActiveHarmonyLike",
     "ApplicationModel",
     "BlissLike",
+    "CampaignGrid",
+    "CampaignRecord",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
     "ChoiceEvaluation",
     "CloudEnvironment",
     "DEFAULT_VM",
@@ -73,6 +88,8 @@ __all__ = [
     "RandomSearch",
     "ReplayedInterference",
     "SearchSpace",
+    "SweepReport",
+    "SweepSummary",
     "ThompsonSamplingTuner",
     "Tuner",
     "TuningResult",
@@ -85,5 +102,6 @@ __all__ = [
     "partition_regions",
     "record_trace",
     "split_subspaces",
+    "summarise",
     "__version__",
 ]

@@ -1,0 +1,51 @@
+"""Campaign runner: fleets of tuning campaigns as a managed workload.
+
+The paper's evaluation is not one tuning run but thousands — every
+(application x VM x tuner x seed) cell of Figs. 10-12 and Table 1 is an
+independent campaign.  This subsystem executes such fleets: declare them
+with :class:`CampaignSpec` / :class:`CampaignGrid`, run them with
+:class:`CampaignRunner` (worker pool, failure isolation, deterministic
+parallelism), and checkpoint them in a :class:`CampaignStore` so an
+interrupted sweep resumes instead of restarting.
+
+Quickstart::
+
+    from repro.campaigns import CampaignGrid, CampaignRunner, CampaignStore
+
+    grid = CampaignGrid(apps=("redis", "lammps"), seeds=(0, 1, 2), scale="test")
+    runner = CampaignRunner(jobs=4, store=CampaignStore("sweep.jsonl"))
+    report = runner.run(grid.specs())       # re-run: finished cells skipped
+
+or from the shell: ``python -m repro sweep --apps redis,lammps --seeds 0,1,2
+--scale test --jobs 4 --store sweep.jsonl``.
+"""
+
+from repro.campaigns.report import SweepRow, SweepSummary, summarise, summary_table
+from repro.campaigns.runner import (
+    CampaignRunner,
+    SweepReport,
+    cached_application,
+    default_jobs,
+    execute_campaign,
+    parallel_map,
+)
+from repro.campaigns.spec import CampaignGrid, CampaignSpec, repeat_specs
+from repro.campaigns.store import CampaignRecord, CampaignStore
+
+__all__ = [
+    "CampaignGrid",
+    "CampaignRecord",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
+    "SweepReport",
+    "SweepRow",
+    "SweepSummary",
+    "cached_application",
+    "default_jobs",
+    "execute_campaign",
+    "parallel_map",
+    "repeat_specs",
+    "summarise",
+    "summary_table",
+]

@@ -1,0 +1,151 @@
+"""Aggregation of stored campaigns into the sweep-level view.
+
+``python -m repro sweep`` and ``report`` both end here: group every stored
+record by (application, VM, strategy) and aggregate the paper's metrics the
+same way the headline experiment does — mean/min/max execution time across
+seeds, mean CoV, mean tuning core-hours.  The summary payload is plain JSON
+(and deterministically ordered), which is what the resume-determinism tests
+byte-compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaigns.spec import vm_display_name
+from repro.campaigns.store import CampaignRecord
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Aggregate of one (application, VM, strategy) cell of a sweep."""
+
+    app: str
+    vm: str
+    strategy: str
+    campaigns: int
+    failures: int
+    mean_time: float
+    time_low: float
+    time_high: float
+    cov_percent: float
+    core_hours: float
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """The whole sweep, one row per grid cell plus totals."""
+
+    rows: List[SweepRow]
+    total: int
+    done: int
+    failed: int
+
+    def row(self, app: str, vm: str, strategy: str) -> SweepRow:
+        for r in self.rows:
+            if (r.app, r.vm, r.strategy) == (app, vm, strategy):
+                return r
+        raise KeyError((app, vm, strategy))
+
+    def to_payload(self) -> dict:
+        """Deterministic plain-JSON form (rows sorted by cell key)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "rows": [asdict(r) for r in self.rows],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation used by determinism checks."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+
+def summarise(records: Sequence[CampaignRecord]) -> SweepSummary:
+    """Aggregate campaign records per (app, vm, strategy), sorted by key.
+
+    Records inside a cell are sorted by campaign ID before aggregating:
+    float reductions are evaluation-order sensitive in the last ulp, and a
+    parallel sweep's store is written in completion order, so without the
+    sort the same campaigns could summarise to different bytes.
+    """
+    groups: Dict[Tuple[str, str, str], List[CampaignRecord]] = {}
+    for record in records:
+        key = (
+            record.spec.app,
+            vm_display_name(record.spec.vm),
+            record.spec.strategy,
+        )
+        groups.setdefault(key, []).append(record)
+
+    rows: List[SweepRow] = []
+    for key in sorted(groups):
+        cell = sorted(groups[key], key=lambda r: r.campaign_id)
+        done = [r for r in cell if r.ok]
+        times = np.array([r.mean_time for r in done]) if done else np.array([])
+        rows.append(
+            SweepRow(
+                app=key[0],
+                vm=key[1],
+                strategy=key[2],
+                campaigns=len(cell),
+                failures=len(cell) - len(done),
+                mean_time=float(times.mean()) if done else float("nan"),
+                time_low=float(times.min()) if done else float("nan"),
+                time_high=float(times.max()) if done else float("nan"),
+                cov_percent=(
+                    float(np.mean([r.cov_percent for r in done]))
+                    if done
+                    else float("nan")
+                ),
+                core_hours=(
+                    float(np.mean([r.core_hours for r in done]))
+                    if done
+                    else float("nan")
+                ),
+            )
+        )
+    n_done = sum(1 for r in records if r.ok)
+    return SweepSummary(
+        rows=rows,
+        total=len(records),
+        failed=len(records) - n_done,
+        done=n_done,
+    )
+
+
+def summary_table(summary: SweepSummary, *, title: str = "sweep") -> str:
+    """Render a summary with the shared experiment table formatter."""
+    from repro.experiments.reporting import render_table
+
+    rows = [
+        (
+            r.app,
+            r.vm,
+            r.strategy,
+            r.campaigns,
+            r.failures,
+            r.mean_time,
+            r.cov_percent,
+            r.core_hours,
+        )
+        for r in summary.rows
+    ]
+    footer = (
+        f"{summary.done}/{summary.total} campaigns done"
+        + (f", {summary.failed} FAILED" if summary.failed else "")
+    )
+    return (
+        render_table(
+            ["app", "VM", "strategy", "n", "fail", "exec time (s)", "CoV %",
+             "core-hours"],
+            rows,
+            title=title,
+        )
+        + "\n"
+        + footer
+    )

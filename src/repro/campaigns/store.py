@@ -1,0 +1,266 @@
+"""Append-only on-disk store of campaign outcomes (the sweep checkpoint).
+
+A sweep over thousands of campaigns is long-running; the store makes it
+*restartable*.  Each completed campaign is appended as one JSON line the
+moment it finishes, so an interrupted sweep loses at most the campaigns that
+were in flight.  On resume, :class:`repro.campaigns.runner.CampaignRunner`
+skips every campaign ID already recorded as done and re-runs only the rest;
+reports aggregate over everything stored.
+
+The format is built on :mod:`repro.experiments.persistence` — the same
+pickle-free JSON representation of :class:`~repro.types.TuningResult` and
+:class:`~repro.types.ChoiceEvaluation`, one record per line:
+
+* an optional header line, ``kind="campaign_grid"``, remembering the grid a
+  sweep was launched with (what ``python -m repro resume`` re-enumerates);
+* then ``kind="campaign_record"`` lines, one per finished campaign.
+
+A line truncated by a crash mid-write is tolerated and skipped on load; the
+campaign it belonged to simply re-runs.  If an ID appears twice (e.g. a
+failed campaign retried on resume), the last record wins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.campaigns.spec import CampaignGrid, CampaignSpec
+from repro.errors import ReproError
+from repro.types import ChoiceEvaluation, TuningResult
+
+
+def _persistence():
+    """The JSON codec this store is built on, imported late.
+
+    :mod:`repro.experiments.persistence` lives inside the experiments
+    package, whose ``__init__`` imports the drivers that in turn import
+    this package — a cycle at import time, not at run time.
+    """
+    from repro.experiments import persistence
+
+    return persistence
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+#: Campaign terminal states.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Terminal outcome of one campaign, as stored.
+
+    ``status`` is ``"done"`` or ``"failed"``; a failed campaign carries the
+    exception summary in ``error`` and ``None`` results — one crash never
+    loses the rest of the sweep.
+    """
+
+    spec: CampaignSpec
+    status: str
+    best_index: Optional[int] = None
+    core_hours: float = 0.0
+    tuning_seconds: float = 0.0
+    evaluation: Optional[ChoiceEvaluation] = None
+    result: Optional[TuningResult] = None
+    error: str = ""
+
+    @property
+    def campaign_id(self) -> str:
+        return self.spec.campaign_id
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_DONE
+
+    @property
+    def mean_time(self) -> float:
+        """Mean cloud execution time of the chosen configuration."""
+        if self.evaluation is None:
+            raise ReproError(f"campaign {self.campaign_id} has no evaluation")
+        return self.evaluation.mean_time
+
+    @property
+    def cov_percent(self) -> float:
+        if self.evaluation is None:
+            raise ReproError(f"campaign {self.campaign_id} has no evaluation")
+        return self.evaluation.cov_percent
+
+    def to_strategy_run(self):
+        """View this record as the protocol's :class:`StrategyRun`."""
+        from repro.experiments.protocol import StrategyRun
+
+        if not self.ok:
+            raise ReproError(
+                f"campaign {self.campaign_id} failed: {self.error}"
+            )
+        from repro.campaigns.spec import vm_display_name
+
+        return StrategyRun(
+            strategy=self.spec.strategy,
+            app_name=self.spec.app,
+            vm_name=vm_display_name(self.spec.vm),
+            evaluation=self.evaluation,
+            core_hours=self.core_hours,
+            tuning_seconds=self.tuning_seconds,
+            best_index=self.best_index,
+            tuning_result=self.result,
+        )
+
+    def to_payload(self) -> dict:
+        """One JSONL line's worth of plain JSON (inverse of :meth:`from_payload`)."""
+        return _persistence().jsonable(
+            {
+                "kind": "campaign_record",
+                "version": _FORMAT_VERSION,
+                "id": self.campaign_id,
+                "status": self.status,
+                "spec": self.spec.to_dict(),
+                "best_index": self.best_index,
+                "core_hours": self.core_hours,
+                "tuning_seconds": self.tuning_seconds,
+                "evaluation": (
+                    asdict(self.evaluation) if self.evaluation is not None else None
+                ),
+                "result": asdict(self.result) if self.result is not None else None,
+                "error": self.error,
+            }
+        )
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CampaignRecord":
+        """Rebuild a record written by :meth:`to_payload`."""
+        codec = _persistence()
+        return cls(
+            spec=CampaignSpec.from_dict(payload["spec"]),
+            status=payload["status"],
+            best_index=payload["best_index"],
+            core_hours=float(payload["core_hours"]),
+            tuning_seconds=float(payload["tuning_seconds"]),
+            evaluation=(
+                codec.evaluation_from_dict(payload["evaluation"])
+                if payload["evaluation"] is not None
+                else None
+            ),
+            result=(
+                codec.tuning_result_from_dict(payload["result"])
+                if payload["result"] is not None
+                else None
+            ),
+            error=payload.get("error", ""),
+        )
+
+
+class CampaignStore:
+    """Append-only JSONL store shared by sweeps, resume, and reporting."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # -- writing --------------------------------------------------------
+
+    def write_grid(self, grid: CampaignGrid) -> None:
+        """Record the sweep's grid as the store's header line.
+
+        Only meaningful on a fresh store; an existing store keeps its
+        original header (the resume contract is per-campaign IDs, not the
+        header, so appending with a different grid is allowed — `resume`
+        simply re-enumerates the original one).
+        """
+        if self.exists() and self.path.stat().st_size > 0:
+            return
+        payload = {
+            "kind": "campaign_grid",
+            "version": _FORMAT_VERSION,
+            "grid": grid.to_dict(),
+        }
+        self._append_line(payload)
+
+    def append(self, record: CampaignRecord) -> None:
+        """Durably append one finished campaign (the checkpoint step)."""
+        self._append_line(record.to_payload())
+
+    def _append_line(self, payload: dict) -> None:
+        # Payloads are already plain JSON (to_payload / grid asdict).
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(payload, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # -- reading --------------------------------------------------------
+
+    def _payloads(self):
+        """Yield parsed lines lazily (``read_grid`` stops at the header)."""
+        if not self.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves a truncated tail; the
+                    # campaign it held will simply be re-run on resume.
+                    continue
+                if isinstance(payload, dict):
+                    yield payload
+
+    def load(self) -> tuple:
+        """One pass over the file: ``(grid_or_None, records)``.
+
+        Records are de-duplicated by campaign ID (last write wins — e.g. a
+        failed campaign retried on resume).
+        """
+        grid: Optional[CampaignGrid] = None
+        by_id: Dict[str, CampaignRecord] = {}
+        for payload in self._payloads():
+            kind = payload.get("kind")
+            if kind == "campaign_grid" and grid is None:
+                grid = CampaignGrid.from_dict(payload["grid"])
+            elif kind == "campaign_record":
+                record = CampaignRecord.from_payload(payload)
+                by_id[record.campaign_id] = record
+        return grid, list(by_id.values())
+
+    def read_grid(self) -> Optional[CampaignGrid]:
+        """The grid this sweep was launched with, if one was recorded.
+
+        Stops at the first header line — it does not reconstruct the
+        (possibly thousands of) campaign records behind it.
+        """
+        for payload in self._payloads():
+            if payload.get("kind") == "campaign_grid":
+                return CampaignGrid.from_dict(payload["grid"])
+        return None
+
+    def records(self) -> List[CampaignRecord]:
+        """Every stored campaign record, de-duplicated (last write wins)."""
+        return self.load()[1]
+
+    def completed_ids(self) -> Set[str]:
+        """IDs a resumed sweep may skip: campaigns stored as done.
+
+        Failed campaigns are *not* listed — resume retries them.
+        """
+        return {r.campaign_id for r in self.records() if r.ok}
+
+    def lookup(self, specs: Iterable[CampaignSpec]) -> Dict[str, CampaignRecord]:
+        """Stored records for the given specs, keyed by campaign ID."""
+        wanted = {spec.campaign_id for spec in specs}
+        return {
+            r.campaign_id: r for r in self.records() if r.campaign_id in wanted
+        }

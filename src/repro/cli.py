@@ -4,11 +4,16 @@ Subcommands::
 
     python -m repro tune --app redis --scale bench --seed 7
     python -m repro compare --app lammps --strategies DarwinGame,BLISS
-    python -m repro experiment --name fig10 --scale test
+    python -m repro experiment --name fig10 --scale test --jobs 4
     python -m repro table1
+    python -m repro sweep --apps redis,lammps --seeds 0,1,2 --jobs 4 \
+        --store sweep.jsonl
+    python -m repro resume sweep.jsonl --jobs 4
+    python -m repro report sweep.jsonl
 
 The CLI is a thin layer over the library; anything it prints can be
-recomputed programmatically through :mod:`repro.experiments`.
+recomputed programmatically through :mod:`repro.experiments` and
+:mod:`repro.campaigns`.
 """
 
 from __future__ import annotations
@@ -18,6 +23,13 @@ import sys
 from typing import List, Optional
 
 from repro.apps.registry import APPLICATION_NAMES, make_application
+from repro.campaigns import (
+    CampaignGrid,
+    CampaignRunner,
+    CampaignStore,
+    summarise,
+    summary_table,
+)
 from repro.cloud.vm import PRESETS
 from repro.experiments import (
     STRATEGY_NAMES,
@@ -101,8 +113,95 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_store(path: str) -> bool:
+    """Sniff whether ``path`` is a campaign store (JSONL) or a single archive."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        payload = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return isinstance(payload, dict) and payload.get("kind") in (
+        "campaign_grid", "campaign_record",
+    )
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def report(finished: int, total: int, record) -> None:
+        mark = "ok" if record.ok else "FAILED"
+        print(f"[{finished}/{total}] {record.campaign_id} {mark}", flush=True)
+
+    return report
+
+
+def _run_sweep(grid: CampaignGrid, store: CampaignStore, jobs: int,
+               quiet: bool = False) -> int:
+    store.write_grid(grid)
+    runner = CampaignRunner(
+        jobs=jobs, store=store, progress=_progress_printer(quiet)
+    )
+    report = runner.run(grid.specs())
+    print(summary_table(summarise(report.records), title=f"sweep {store.path}"))
+    print(
+        f"executed {report.executed}, skipped {report.skipped} already stored, "
+        f"{report.wall_seconds:.1f}s wall with --jobs {report.jobs} "
+        f"({report.campaigns_per_minute:.1f} campaigns/min)"
+    )
+    return 1 if report.failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    def csv(text: str) -> tuple:
+        return tuple(s.strip() for s in text.split(",") if s.strip())
+
+    strategies = csv(args.strategies)
+    known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
+    unknown = [s for s in strategies if s not in known]
+    if unknown:
+        print(f"unknown strategies: {unknown}; available: {list(known)}")
+        return 2
+    grid = CampaignGrid(
+        apps=csv(args.apps),
+        strategies=strategies,
+        vms=csv(args.vms),
+        seeds=tuple(int(s) for s in csv(args.seeds)),
+        scale=args.scale,
+        eval_runs=args.eval_runs,
+    )
+    return _run_sweep(grid, CampaignStore(args.store), args.jobs, args.quiet)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    if not store.exists():
+        print(f"no store at {store.path}; start one with `repro sweep --store`")
+        return 2
+    grid = store.read_grid()
+    if grid is None:
+        print(f"{store.path} has no grid header; re-run `repro sweep` with "
+              f"the original arguments and --store {store.path}")
+        return 2
+    return _run_sweep(grid, store, args.jobs, args.quiet)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.persistence import load_campaign
+
+    if _is_store(args.path):
+        grid, records = CampaignStore(args.path).load()
+        print(summary_table(summarise(records), title=f"sweep {args.path}"))
+        if grid is not None:
+            done = {r.campaign_id for r in records if r.ok}
+            pending = sum(1 for s in grid.specs() if s.campaign_id not in done)
+            if pending:
+                print(f"{pending} of {grid.size} campaigns still pending — "
+                      f"finish with: python -m repro resume {args.path}")
+        return 0
 
     result, evaluation, meta = load_campaign(args.path)
     rows = [
@@ -145,7 +244,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name in ("fig10", "fig11", "fig12"):
-        result = run_headline(scale=args.scale, repeats=args.repeats, seed=args.seed)
+        result = run_headline(
+            scale=args.scale, repeats=args.repeats, seed=args.seed, jobs=args.jobs
+        )
         metric = {
             "fig10": ("exec time (s)", lambda r: r.mean_time),
             "fig11": ("CoV %", lambda r: r.cov_percent),
@@ -155,14 +256,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         rows = [(r.app_name, r.strategy, metric[1](r)) for r in result.rows]
         print(render_table(["app", "strategy", metric[0]], rows, title=args.name))
     elif args.name == "fig15":
-        result = run_vm_sweep(scale=args.scale, seed=args.seed)
+        result = run_vm_sweep(scale=args.scale, seed=args.seed, jobs=args.jobs)
         rows = [(r.vm_name, r.darwin_time, r.gap_percent, r.cov_percent)
                 for r in result.rows]
         print(render_table(
             ["VM", "DarwinGame (s)", "gap %", "CoV %"], rows, title="fig15"
         ))
     elif args.name == "stability":
-        result = run_stability(scale=args.scale, repeats=args.repeats, seed=args.seed)
+        result = run_stability(
+            scale=args.scale, repeats=args.repeats, seed=args.seed, jobs=args.jobs
+        )
         print(render_table(
             ["repeats", "distinct picks", "modal fraction"],
             [(result.repeats, result.distinct_picks, result.modal_pick_fraction)],
@@ -176,7 +279,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             title="hyper-parameter sensitivity",
         ))
     elif args.name == "formats":
-        result = run_format_power(trials=200, seed=args.seed)
+        result = run_format_power(trials=200, seed=args.seed, jobs=args.jobs)
         rows = [
             (fmt, noise, result.row(fmt, noise).predictive_power,
              result.row(fmt, noise).mean_games)
@@ -199,7 +302,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ))
     elif args.name == "statistical":
         result = run_statistical_comparison(
-            scale=args.scale, repeats=args.repeats, seed=args.seed
+            scale=args.scale, repeats=args.repeats, seed=args.seed, jobs=args.jobs
         )
         rows = [
             (r.app_name, r.strategy, r.mean_time, r.gap_vs_optimal_percent,
@@ -215,8 +318,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table1(_args: argparse.Namespace) -> int:
-    rows = run_table1()
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = run_table1(jobs=args.jobs)
     print(render_table(
         ["application", "app params", "system params", "space size"],
         [
@@ -247,9 +350,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tune.set_defaults(func=_cmd_tune)
 
-    p_report = sub.add_parser("report", help="print an archived campaign")
-    p_report.add_argument("path", help="campaign JSON written by tune --save")
+    p_report = sub.add_parser(
+        "report", help="print an archived campaign or a sweep store"
+    )
+    p_report.add_argument(
+        "path",
+        help="campaign JSON written by tune --save, or a sweep JSONL store",
+    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a campaign grid through the parallel runner"
+    )
+    p_sweep.add_argument(
+        "--apps", default=",".join(APPLICATION_NAMES),
+        help="comma-separated application names",
+    )
+    p_sweep.add_argument(
+        "--strategies", default="DarwinGame",
+        help="comma-separated strategy names",
+    )
+    p_sweep.add_argument(
+        "--vms", default="m5.8xlarge", help="comma-separated VM presets"
+    )
+    p_sweep.add_argument(
+        "--seeds", default="0", help="comma-separated environment seeds"
+    )
+    p_sweep.add_argument("--scale", default="bench", help="space scale preset")
+    p_sweep.add_argument(
+        "--eval-runs", type=int, default=100,
+        help="post-tuning evaluation executions per campaign",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p_sweep.add_argument(
+        "--store", default="campaigns.jsonl",
+        help="JSONL checkpoint store (resumable)",
+    )
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-campaign progress"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_resume = sub.add_parser(
+        "resume", help="finish an interrupted sweep from its store"
+    )
+    p_resume.add_argument("store", help="JSONL store written by sweep")
+    p_resume.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p_resume.add_argument(
+        "--quiet", action="store_true", help="suppress per-campaign progress"
+    )
+    p_resume.set_defaults(func=_cmd_resume)
 
     p_cmp = sub.add_parser("compare", help="compare strategies on one app")
     _add_common(p_cmp)
@@ -264,9 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--scale", default="bench")
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--repeats", type=int, default=3)
+    p_exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel campaign workers (grid experiments)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_t1 = sub.add_parser("table1", help="print Table 1")
+    p_t1.add_argument(
+        "--jobs", type=int, default=1, help="build spaces in parallel"
+    )
     p_t1.set_defaults(func=_cmd_table1)
     return parser
 

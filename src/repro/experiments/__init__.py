@@ -29,6 +29,8 @@ from repro.experiments.motivation import (
     run_fig2,
 )
 from repro.experiments.persistence import (
+    evaluation_from_dict,
+    jsonable,
     load_campaign,
     load_evaluation,
     load_trace,
@@ -37,10 +39,12 @@ from repro.experiments.persistence import (
     save_evaluation,
     save_trace,
     save_tuning_result,
+    tuning_result_from_dict,
 )
 from repro.experiments.protocol import (
     STRATEGY_NAMES,
     StrategyRun,
+    repeat_seed_plan,
     repeat_strategy,
     run_strategy,
 )
@@ -57,7 +61,7 @@ from repro.experiments.statistical import (
     StatisticalRow,
     run_statistical_comparison,
 )
-from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.table1 import Table1Row, run_table1, table1_grid
 from repro.experiments.vm_sweep import FIG15_VMS, VMSweepResult, run_vm_sweep
 
 __all__ = [
@@ -85,12 +89,15 @@ __all__ = [
     "StrategyRun",
     "Table1Row",
     "VMSweepResult",
+    "evaluation_from_dict",
+    "jsonable",
     "load_campaign",
     "load_evaluation",
     "load_trace",
     "load_tuning_result",
     "paper_vs_measured",
     "render_table",
+    "repeat_seed_plan",
     "repeat_strategy",
     "run_ablations",
     "save_campaign",
@@ -112,4 +119,6 @@ __all__ = [
     "run_strategy",
     "run_table1",
     "run_vm_sweep",
+    "table1_grid",
+    "tuning_result_from_dict",
 ]

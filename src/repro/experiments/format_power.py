@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.campaigns.runner import parallel_map
 from repro.errors import ReproError
 from repro.formats.double_elimination import DoubleElimination
 from repro.formats.match import NoisyStrengthOracle
@@ -73,6 +74,39 @@ def _run_format(name: str, players: Sequence[int], oracle: NoisyStrengthOracle) 
     raise ReproError(f"unknown format {name!r}; available: {FORMAT_NAMES}")
 
 
+def _run_trial_chunk(args: tuple) -> Dict[tuple, Tuple[int, int, int]]:
+    """Accumulate (hits, top2-hits, games) per (format, noise) over trials.
+
+    One worker's share of the Monte-Carlo grid.  Every trial is seeded
+    independently, so any partition of the trial list over any number of
+    workers sums to the same counts — parallelism cannot change results.
+    """
+    trial_seeds, n_players, noise_levels, formats, strength_spread = args
+    counts: Dict[tuple, Tuple[int, int, int]] = {
+        (fmt, noise): (0, 0, 0) for fmt in formats for noise in noise_levels
+    }
+    for trial_seed in trial_seeds:
+        rng = np.random.default_rng(trial_seed)
+        strengths = rng.uniform(0.0, strength_spread, size=n_players)
+        entry_order = rng.permutation(n_players)
+        best = int(np.argmax(strengths))
+        second = int(np.argsort(-strengths)[1])
+        for noise in noise_levels:
+            for fmt in formats:
+                oracle = NoisyStrengthOracle(
+                    strengths, noise, seed=rng.integers(0, 2**31)
+                )
+                winner = _run_format(fmt, entry_order, oracle)
+                key = (fmt, noise)
+                hit, t2, games = counts[key]
+                counts[key] = (
+                    hit + (winner == best),
+                    t2 + (winner in (best, second)),
+                    games + oracle.games_played,
+                )
+    return counts
+
+
 def run_format_power(
     *,
     n_players: int = 16,
@@ -81,6 +115,7 @@ def run_format_power(
     strength_spread: float = 1.0,
     seed: SeedLike = 0,
     formats: Tuple[str, ...] = FORMAT_NAMES,
+    jobs: int = 1,
 ) -> FormatPowerResult:
     """Monte-Carlo the format x noise grid.
 
@@ -88,39 +123,39 @@ def run_format_power(
     ``[0, strength_spread]`` with the entry order shuffled (formats must not
     benefit from accidental seeding); every format replays the *same* field
     at the same noise level with its own oracle noise stream.
+
+    Trials are independently seeded up front and submitted to the campaign
+    subsystem's worker map in chunks, so ``jobs > 1`` splits the grid
+    across processes without changing a single count.
     """
     if n_players < 2:
         raise ReproError(f"need at least two players, got {n_players}")
     if trials < 1:
         raise ReproError(f"trials must be >= 1, got {trials}")
     master = ensure_rng(seed)
+    trial_seeds = [int(s) for s in master.integers(0, 2**31, size=trials)]
 
-    hits: Dict[tuple, int] = {}
-    top2: Dict[tuple, int] = {}
-    games: Dict[tuple, List[int]] = {}
-    for trial in range(trials):
-        strengths = master.uniform(0.0, strength_spread, size=n_players)
-        entry_order = master.permutation(n_players)
-        best = int(np.argmax(strengths))
-        second = int(np.argsort(-strengths)[1])
-        for noise in noise_levels:
-            for fmt in formats:
-                oracle = NoisyStrengthOracle(
-                    strengths, noise, seed=master.integers(0, 2**31)
-                )
-                winner = _run_format(fmt, entry_order, oracle)
-                key = (fmt, noise)
-                hits[key] = hits.get(key, 0) + (winner == best)
-                top2[key] = top2.get(key, 0) + (winner in (best, second))
-                games.setdefault(key, []).append(oracle.games_played)
+    n_chunks = max(1, min(jobs, trials))
+    chunks = [
+        (list(part), n_players, tuple(noise_levels), tuple(formats),
+         strength_spread)
+        for part in np.array_split(trial_seeds, n_chunks)
+    ]
+    merged: Dict[tuple, Tuple[int, int, int]] = {
+        (fmt, noise): (0, 0, 0) for fmt in formats for noise in noise_levels
+    }
+    for counts in parallel_map(_run_trial_chunk, chunks, jobs=jobs):
+        for key, (hit, t2, games) in counts.items():
+            old = merged[key]
+            merged[key] = (old[0] + hit, old[1] + t2, old[2] + games)
 
     rows = [
         FormatPowerRow(
             format_name=fmt,
             noise_std=noise,
-            predictive_power=hits[(fmt, noise)] / trials,
-            top2_power=top2[(fmt, noise)] / trials,
-            mean_games=float(np.mean(games[(fmt, noise)])),
+            predictive_power=merged[(fmt, noise)][0] / trials,
+            top2_power=merged[(fmt, noise)][1] / trials,
+            mean_games=merged[(fmt, noise)][2] / trials,
             trials=trials,
         )
         for fmt in formats

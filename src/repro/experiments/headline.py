@@ -23,9 +23,10 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.apps.registry import make_application
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import repeat_specs, vm_to_field
 from repro.cloud.vm import DEFAULT_VM, VMSpec
-from repro.experiments.protocol import STRATEGY_NAMES, StrategyRun, repeat_strategy
+from repro.experiments.protocol import STRATEGY_NAMES, StrategyRun
 
 _CACHE: Dict[tuple, "HeadlineResult"] = {}
 
@@ -98,32 +99,53 @@ def run_headline(
     vm: VMSpec = DEFAULT_VM,
     seed: int = 0,
     strategies: Tuple[str, ...] = STRATEGY_NAMES,
+    jobs: int = 1,
 ) -> HeadlineResult:
-    """Produce the Figs. 10-12 grid (cached: the three figures share it)."""
+    """Produce the Figs. 10-12 grid (cached: the three figures share it).
+
+    The grid — every (application, strategy, repeat) cell — is enumerated
+    declaratively and submitted to the campaign runner, so ``jobs > 1``
+    spreads it over worker processes while reproducing serial results
+    exactly (the cache key therefore ignores ``jobs``).
+    """
     key = (tuple(app_names), scale, repeats, vm.name, seed, tuple(strategies))
     if key in _CACHE:
         return _CACHE[key]
 
-    rows: List[HeadlineRow] = []
+    specs = []
     for app_name in app_names:
-        app = make_application(app_name, scale=scale)
-        per_strategy: Dict[str, List[StrategyRun]] = {}
         for strategy in strategies:
             # Optimal is the noise-free oracle; one run suffices.  Exhaustive
             # is deterministic *given* a realisation but its pick varies
             # across realisations, so it is repeated like every tuner.
             n = 1 if strategy == "Optimal" else repeats
-            per_strategy[strategy] = repeat_strategy(
-                app, strategy, repeats=n, vm=vm, seed=seed
+            specs.extend(
+                repeat_specs(
+                    app_name, strategy, repeats=n, scale=scale,
+                    vm=vm_to_field(vm), seed=seed,
+                )
             )
+    report = CampaignRunner(jobs=jobs).run(specs)
+
+    runs_by_cell: Dict[tuple, List[StrategyRun]] = {}
+    for record in report.strategy_runs():
+        runs_by_cell.setdefault((record.app_name, record.strategy), []).append(record)
+
+    rows: List[HeadlineRow] = []
+    for app_name in app_names:
         exhaustive_hours = (
-            per_strategy["Exhaustive"][0].core_hours
-            if "Exhaustive" in per_strategy
+            runs_by_cell[(app_name, "Exhaustive")][0].core_hours
+            if (app_name, "Exhaustive") in runs_by_cell
             else 0.0
         )
         for strategy in strategies:
             rows.append(
-                _aggregate(app_name, strategy, per_strategy[strategy], exhaustive_hours)
+                _aggregate(
+                    app_name,
+                    strategy,
+                    runs_by_cell[(app_name, strategy)],
+                    exhaustive_hours,
+                )
             )
     result = HeadlineResult(rows=rows, scale=scale, repeats=repeats)
     _CACHE[key] = result
@@ -149,6 +171,7 @@ def run_stability(
     repeats: int = 10,
     vm: VMSpec = DEFAULT_VM,
     seed: int = 0,
+    jobs: int = 1,
 ) -> StabilityResult:
     """Repeat one tuner many times; report pick agreement.
 
@@ -157,10 +180,11 @@ def run_stability(
     — the paper's "tuning repeated at different periods of time in the
     cloud" (the same tool re-run, under different noise).
     """
-    app = make_application(app_name, scale=scale)
-    runs = repeat_strategy(
-        app, strategy, repeats=repeats, vm=vm, seed=seed, vary_tuner_seed=False
+    specs = repeat_specs(
+        app_name, strategy, repeats=repeats, scale=scale, vm=vm_to_field(vm),
+        seed=seed, vary_tuner_seed=False,
     )
+    runs = CampaignRunner(jobs=jobs).run(specs).strategy_runs()
     picks = Counter(r.best_index for r in runs)
     return StabilityResult(
         app_name=app_name,

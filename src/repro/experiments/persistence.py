@@ -30,8 +30,12 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
-def _jsonable(value):
-    """Recursively convert numpy scalars/arrays to plain Python."""
+def jsonable(value):
+    """Recursively convert numpy scalars/arrays to plain Python.
+
+    Public building block: the campaign store (:mod:`repro.campaigns.store`)
+    streams records through this before writing JSONL lines.
+    """
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, (np.integer,)):
@@ -39,10 +43,25 @@ def _jsonable(value):
     if isinstance(value, (np.floating,)):
         return float(value)
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {str(k): jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [jsonable(v) for v in value]
     return value
+
+
+_jsonable = jsonable
+
+
+def tuning_result_from_dict(data: dict) -> TuningResult:
+    """Rebuild a :class:`TuningResult` from its ``asdict`` representation."""
+    data = dict(data)
+    data["best_values"] = tuple(data["best_values"])
+    return TuningResult(**data)
+
+
+def evaluation_from_dict(data: dict) -> ChoiceEvaluation:
+    """Rebuild a :class:`ChoiceEvaluation` from its ``asdict`` form."""
+    return ChoiceEvaluation(**data)
 
 
 def _dump(payload: dict, path: PathLike) -> Path:
@@ -56,6 +75,11 @@ def _dump(payload: dict, path: PathLike) -> Path:
 def _load(path: PathLike, expected_kind: str) -> dict:
     with Path(path).open() as handle:
         payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"{path} holds {type(payload).__name__} JSON, "
+            f"expected a {expected_kind!r} record"
+        )
     kind = payload.get("kind")
     if kind != expected_kind:
         raise ReproError(
@@ -83,9 +107,7 @@ def save_tuning_result(result: TuningResult, path: PathLike) -> Path:
 
 def load_tuning_result(path: PathLike) -> TuningResult:
     """Read a tuning result written by :func:`save_tuning_result`."""
-    data = _load(path, "tuning_result")["data"]
-    data["best_values"] = tuple(data["best_values"])
-    return TuningResult(**data)
+    return tuning_result_from_dict(_load(path, "tuning_result")["data"])
 
 
 # -- ChoiceEvaluation ---------------------------------------------------------
@@ -102,7 +124,7 @@ def save_evaluation(evaluation: ChoiceEvaluation, path: PathLike) -> Path:
 
 def load_evaluation(path: PathLike) -> ChoiceEvaluation:
     """Read a choice evaluation written by :func:`save_evaluation`."""
-    return ChoiceEvaluation(**_load(path, "choice_evaluation")["data"])
+    return evaluation_from_dict(_load(path, "choice_evaluation")["data"])
 
 
 # -- InterferenceTrace --------------------------------------------------------
@@ -153,11 +175,9 @@ def load_campaign(path: PathLike) -> tuple:
     ``evaluation`` is ``None`` when the campaign was saved without one.
     """
     payload = _load(path, "campaign")
-    result_data = payload["result"]
-    result_data["best_values"] = tuple(result_data["best_values"])
-    result = TuningResult(**result_data)
+    result = tuning_result_from_dict(payload["result"])
     evaluation = (
-        ChoiceEvaluation(**payload["evaluation"])
+        evaluation_from_dict(payload["evaluation"])
         if payload["evaluation"] is not None
         else None
     )

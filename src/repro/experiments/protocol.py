@@ -13,7 +13,7 @@ Strategies are referred to by the names used in the paper's figures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,7 +46,13 @@ STRATEGY_NAMES = (
 
 @dataclass(frozen=True)
 class StrategyRun:
-    """One tuning campaign plus the post-hoc quality of its chosen config."""
+    """One tuning campaign plus the post-hoc quality of its chosen config.
+
+    ``tuning_result`` carries the tuner's full :class:`TuningResult` (chosen
+    values, evaluation count, per-strategy diagnostics) when the strategy
+    actually tuned; the ``"Optimal"`` oracle has none.  The campaign store
+    archives it alongside the evaluation.
+    """
 
     strategy: str
     app_name: str
@@ -55,6 +61,7 @@ class StrategyRun:
     core_hours: float
     tuning_seconds: float
     best_index: int
+    tuning_result: Optional[TuningResult] = None
 
     @property
     def mean_time(self) -> float:
@@ -148,7 +155,32 @@ def run_strategy(
         core_hours=result.core_hours,
         tuning_seconds=result.tuning_seconds,
         best_index=result.best_index,
+        tuning_result=result,
     )
+
+
+def repeat_seed_plan(
+    seed: int, repeats: int, *, vary_tuner_seed: bool = True
+) -> List[Tuple[int, float, int]]:
+    """The ``(env_seed, start_time, tuner_seed)`` plan behind repeated tuning.
+
+    Single source of truth shared by :func:`repeat_strategy` and the
+    campaign layer's :func:`repro.campaigns.spec.repeat_specs`: each repeat
+    gets its own interference realisation and a campaign start three days
+    after the previous one.
+    """
+    rng = np.random.default_rng(seed)
+    plan: List[Tuple[int, float, int]] = []
+    for k in range(repeats):
+        env_seed = int(rng.integers(0, 2**31))
+        plan.append(
+            (
+                env_seed,
+                float(k) * 86400.0 * 3.0,
+                env_seed if vary_tuner_seed else int(seed),
+            )
+        )
+    return plan
 
 
 def repeat_strategy(
@@ -170,19 +202,17 @@ def repeat_strategy(
     repeat; the stability experiment passes ``False`` to isolate the effect
     of the environment's noise on the tuner's outcome.
     """
-    runs = []
-    rng = np.random.default_rng(seed)
-    for k in range(repeats):
-        env_seed = int(rng.integers(0, 2**31))
-        runs.append(
-            run_strategy(
-                app,
-                strategy,
-                vm=vm,
-                seed=env_seed,
-                start_time=float(k) * 86400.0 * 3.0,
-                eval_runs=eval_runs,
-                tuner_seed=env_seed if vary_tuner_seed else seed,
-            )
+    return [
+        run_strategy(
+            app,
+            strategy,
+            vm=vm,
+            seed=env_seed,
+            start_time=start_time,
+            eval_runs=eval_runs,
+            tuner_seed=tuner_seed,
         )
-    return runs
+        for env_seed, start_time, tuner_seed in repeat_seed_plan(
+            seed, repeats, vary_tuner_seed=vary_tuner_seed
+        )
+    ]

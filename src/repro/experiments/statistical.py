@@ -17,9 +17,10 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.apps.registry import make_application
+from repro.campaigns.runner import CampaignRunner, cached_application
+from repro.campaigns.spec import repeat_specs, vm_to_field
 from repro.cloud.vm import DEFAULT_VM, VMSpec
-from repro.experiments.protocol import StrategyRun, repeat_strategy
+from repro.experiments.protocol import StrategyRun
 
 #: Strategy order of the Sec. 3.2 comparison.
 STATISTICAL_STRATEGIES = (
@@ -93,20 +94,43 @@ def run_statistical_comparison(
     repeats: int = 3,
     vm: VMSpec = DEFAULT_VM,
     seed: int = 0,
+    jobs: int = 1,
 ) -> StatisticalResult:
-    """Tune with every Sec. 3.2 strategy and aggregate the quality metrics."""
+    """Tune with every Sec. 3.2 strategy and aggregate the quality metrics.
+
+    The (application x strategy x repeat) grid runs through the campaign
+    runner; ``jobs > 1`` parallelises it without changing any result, so
+    the cache key ignores ``jobs``.
+    """
     key = (tuple(app_names), scale, repeats, vm.name, seed)
     if key in _CACHE:
         return _CACHE[key]
 
-    rows: List[StatisticalRow] = []
+    specs = []
     for app_name in app_names:
-        app = make_application(app_name, scale=scale)
-        optimal_time = app.optimal.true_time
         for strategy in STATISTICAL_STRATEGIES:
             n = 1 if strategy == "Optimal" else repeats
-            runs = repeat_strategy(app, strategy, repeats=n, vm=vm, seed=seed)
-            rows.append(_aggregate(app_name, strategy, runs, optimal_time))
+            specs.extend(
+                repeat_specs(
+                    app_name, strategy, repeats=n, scale=scale,
+                    vm=vm_to_field(vm), seed=seed,
+                )
+            )
+    report = CampaignRunner(jobs=jobs).run(specs)
+    runs_by_cell: Dict[tuple, List[StrategyRun]] = {}
+    for run in report.strategy_runs():
+        runs_by_cell.setdefault((run.app_name, run.strategy), []).append(run)
+
+    rows: List[StatisticalRow] = []
+    for app_name in app_names:
+        optimal_time = cached_application(app_name, scale).optimal.true_time
+        for strategy in STATISTICAL_STRATEGIES:
+            rows.append(
+                _aggregate(
+                    app_name, strategy,
+                    runs_by_cell[(app_name, strategy)], optimal_time,
+                )
+            )
     result = StatisticalResult(rows=rows, repeats=repeats, scale=scale)
     _CACHE[key] = result
     return result

@@ -1,4 +1,9 @@
-"""Table 1: tunable parameters and search-space sizes per application."""
+"""Table 1: tunable parameters and search-space sizes per application.
+
+Also home of :func:`table1_grid` — the canonical campaign grid over the
+Table 1 applications that ``python -m repro sweep`` runs by default and the
+campaign subsystem's acceptance tests execute at test scale.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,8 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.apps.registry import APPLICATION_NAMES, make_application
+from repro.campaigns.runner import parallel_map
+from repro.campaigns.spec import CampaignGrid, Scale
 
 #: The sizes Table 1 reports (paper rounds to 0.1 million).
 PAPER_SIZES = {
@@ -30,24 +37,50 @@ class Table1Row:
         return self.space_size / self.paper_size
 
 
-def run_table1() -> List[Table1Row]:
-    """Build every application at full scale and report its Table 1 row."""
-    rows: List[Table1Row] = []
-    for name in APPLICATION_NAMES:
-        app = make_application(name, scale="full")
-        app_params = tuple(
-            p.name for p in app.space.parameters if p.kind == "app"
-        )
-        sys_params = tuple(
-            p.name for p in app.space.parameters if p.kind == "system"
-        )
-        rows.append(
-            Table1Row(
-                app_name=name,
-                app_parameters=app_params,
-                system_parameters=sys_params,
-                space_size=app.space.size,
-                paper_size=PAPER_SIZES[name],
-            )
-        )
-    return rows
+def _build_row(name: str) -> Table1Row:
+    app = make_application(name, scale="full")
+    app_params = tuple(
+        p.name for p in app.space.parameters if p.kind == "app"
+    )
+    sys_params = tuple(
+        p.name for p in app.space.parameters if p.kind == "system"
+    )
+    return Table1Row(
+        app_name=name,
+        app_parameters=app_params,
+        system_parameters=sys_params,
+        space_size=app.space.size,
+        paper_size=PAPER_SIZES[name],
+    )
+
+
+def run_table1(*, jobs: int = 1) -> List[Table1Row]:
+    """Build every application at full scale and report its Table 1 row.
+
+    The per-application grid goes through the campaign subsystem's worker
+    map, so ``jobs > 1`` constructs the paper-sized spaces in parallel.
+    """
+    return parallel_map(_build_row, APPLICATION_NAMES, jobs=jobs)
+
+
+def table1_grid(
+    *,
+    scale: Scale = "test",
+    strategies: Tuple[str, ...] = ("DarwinGame",),
+    vms: Tuple[str, ...] = ("m5.8xlarge",),
+    seeds: Tuple[int, ...] = (0,),
+    eval_runs: int = 100,
+) -> CampaignGrid:
+    """The Table 1 fleet: every evaluated application, one cell per seed.
+
+    At ``scale="test"`` this is the campaign runner's acceptance workload —
+    small enough for CI, wide enough to exercise every application surface.
+    """
+    return CampaignGrid(
+        apps=APPLICATION_NAMES,
+        strategies=strategies,
+        vms=vms,
+        seeds=seeds,
+        scale=scale,
+        eval_runs=eval_runs,
+    )

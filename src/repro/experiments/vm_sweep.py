@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.apps.registry import make_application
+from repro.campaigns.runner import CampaignRunner, cached_application
+from repro.campaigns.spec import CampaignSpec
 from repro.cloud.vm import PRESETS, VMSpec
-from repro.experiments.protocol import run_strategy
 
 #: The paper's Fig. 15 x-axis, in order.
 FIG15_VMS: Tuple[str, ...] = (
@@ -59,14 +59,25 @@ def run_vm_sweep(
     scale: str = "bench",
     seed: int = 0,
     vm_names: Tuple[str, ...] = FIG15_VMS,
+    jobs: int = 1,
 ) -> VMSweepResult:
-    """Tune with DarwinGame on each VM type; compare to the Oracle."""
-    app = make_application(app_name, scale=scale)
-    oracle = app.optimal.true_time
+    """Tune with DarwinGame on each VM type; compare to the Oracle.
+
+    One campaign per VM preset, submitted through the campaign runner;
+    ``jobs > 1`` sweeps instance types in parallel with identical results.
+    """
+    oracle = cached_application(app_name, scale).optimal.true_time
+    specs = [
+        CampaignSpec(
+            app=app_name, strategy="DarwinGame", vm=vm_name,
+            scale=scale, seed=seed,
+        )
+        for vm_name in vm_names
+    ]
+    runs = CampaignRunner(jobs=jobs).run(specs).strategy_runs()
     rows: List[VMSweepRow] = []
-    for vm_name in vm_names:
+    for vm_name, run in zip(vm_names, runs):
         vm: VMSpec = PRESETS[vm_name]
-        run = run_strategy(app, "DarwinGame", vm=vm, seed=seed)
         gap = 100.0 * (run.mean_time - oracle) / oracle
         rows.append(
             VMSweepRow(

@@ -1,0 +1,281 @@
+"""Campaign subsystem: specs, store, runner, parallel & resume determinism."""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignGrid,
+    CampaignRecord,
+    CampaignRunner,
+    CampaignSpec,
+    CampaignStore,
+    parallel_map,
+    repeat_specs,
+    summarise,
+    summary_table,
+)
+from repro.errors import ReproError
+from repro.experiments.protocol import repeat_strategy
+from repro.experiments.table1 import table1_grid
+
+
+def _payloads(records):
+    """Canonical byte-comparable form of a record list."""
+    return json.dumps([r.to_payload() for r in records], sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return CampaignGrid(
+        apps=("redis", "gromacs"), seeds=(0, 1), scale="test", eval_runs=10
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_records(small_grid):
+    return CampaignRunner(jobs=1).run(small_grid.specs()).records
+
+
+class TestCampaignSpec:
+    def test_id_is_stable(self):
+        a = CampaignSpec(app="redis", seed=3, scale="test")
+        b = CampaignSpec(app="redis", seed=3, scale="test")
+        assert a.campaign_id == b.campaign_id
+
+    def test_id_distinguishes_every_field(self):
+        base = CampaignSpec(app="redis", seed=3, scale="test")
+        variants = [
+            CampaignSpec(app="lammps", seed=3, scale="test"),
+            CampaignSpec(app="redis", seed=4, scale="test"),
+            CampaignSpec(app="redis", seed=3, scale="bench"),
+            CampaignSpec(app="redis", seed=3, scale="test", strategy="BLISS"),
+            CampaignSpec(app="redis", seed=3, scale="test", vm="m5.large"),
+            CampaignSpec(app="redis", seed=3, scale="test", eval_runs=7),
+            CampaignSpec(app="redis", seed=3, scale="test", start_time=1.0),
+            CampaignSpec(app="redis", seed=3, scale="test", tuner_seed=9),
+        ]
+        ids = {v.campaign_id for v in variants}
+        assert base.campaign_id not in ids
+        assert len(ids) == len(variants)
+
+    def test_round_trip(self):
+        spec = CampaignSpec(app="ffmpeg", strategy="BLISS", seed=5, tag="x")
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.campaign_id == spec.campaign_id
+
+    def test_custom_vmspec_survives_the_runner(self):
+        """A non-preset VMSpec must run like it did pre-campaign-layer."""
+        from dataclasses import replace
+
+        from repro.campaigns.spec import vm_from_field, vm_to_field
+        from repro.cloud.vm import PRESETS
+
+        custom = replace(PRESETS["m5.8xlarge"], name="onprem-box")
+        field = vm_to_field(custom)
+        assert isinstance(field, dict)
+        assert vm_from_field(field) == custom
+        assert vm_to_field(PRESETS["m5.large"]) == "m5.large"
+
+        spec = CampaignSpec(app="redis", vm=field, scale="test", eval_runs=5)
+        report = CampaignRunner(jobs=1).run([spec])
+        assert report.records[0].ok
+        assert report.records[0].to_strategy_run().vm_name == "onprem-box"
+
+
+class TestCampaignGrid:
+    def test_size_and_unique_ids(self, small_grid):
+        specs = list(small_grid.specs())
+        assert len(specs) == small_grid.size == 4
+        assert len({s.campaign_id for s in specs}) == 4
+
+    def test_start_times_step_per_seed(self, small_grid):
+        specs = [s for s in small_grid.specs() if s.app == "redis"]
+        assert specs[0].start_time == 0.0
+        assert specs[1].start_time == pytest.approx(3.0 * 86400.0)
+
+    def test_round_trip(self, small_grid):
+        assert CampaignGrid.from_dict(small_grid.to_dict()) == small_grid
+
+    def test_table1_grid_covers_all_apps(self):
+        grid = table1_grid(scale="test", seeds=(0, 1))
+        assert grid.size == 8
+        assert set(grid.apps) == {"redis", "gromacs", "ffmpeg", "lammps"}
+
+
+class TestRunnerSerial:
+    def test_records_align_with_specs(self, small_grid, serial_records):
+        specs = list(small_grid.specs())
+        assert [r.campaign_id for r in serial_records] == [
+            s.campaign_id for s in specs
+        ]
+        assert all(r.ok for r in serial_records)
+        assert all(r.evaluation is not None for r in serial_records)
+        assert all(r.result is not None for r in serial_records)
+
+    def test_matches_repeat_strategy_protocol(self):
+        """Runner campaigns reproduce the protocol's repeat loop bit for bit."""
+        from repro.apps import make_application
+
+        app = make_application("redis", scale="test")
+        direct = repeat_strategy(app, "BLISS", repeats=2, seed=4, eval_runs=10)
+        specs = repeat_specs(
+            "redis", "BLISS", repeats=2, scale="test", seed=4, eval_runs=10
+        )
+        via_runner = CampaignRunner(jobs=1).run(specs).strategy_runs()
+        assert [r.best_index for r in via_runner] == [
+            r.best_index for r in direct
+        ]
+        assert [r.evaluation for r in via_runner] == [
+            r.evaluation for r in direct
+        ]
+
+    def test_duplicate_specs_rejected(self):
+        spec = CampaignSpec(app="redis", scale="test")
+        with pytest.raises(ReproError):
+            CampaignRunner().run([spec, spec])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ReproError):
+            CampaignRunner(jobs=0)
+
+
+class TestFailureIsolation:
+    def test_one_crash_does_not_kill_the_sweep(self):
+        bad = CampaignSpec(app="redis", strategy="NoSuchTuner", scale="test",
+                           eval_runs=5)
+        good = CampaignSpec(app="redis", scale="test", eval_runs=5)
+        report = CampaignRunner(jobs=1).run([bad, good])
+        assert [r.status for r in report.records] == ["failed", "done"]
+        assert "NoSuchTuner" in report.records[0].error
+        assert report.records[0].evaluation is None
+        with pytest.raises(ReproError):
+            report.raise_on_failure()
+
+    def test_failed_record_summarised_not_aggregated(self):
+        bad = CampaignSpec(app="redis", strategy="NoSuchTuner", scale="test",
+                           eval_runs=5)
+        good = CampaignSpec(app="redis", scale="test", eval_runs=5)
+        report = CampaignRunner(jobs=1).run([bad, good])
+        summary = summarise(report.records)
+        assert summary.failed == 1 and summary.done == 1
+        row = summary.rows[0] if summary.rows[0].failures else summary.rows[1]
+        assert row.campaigns == 1  # cells are per-strategy; the bad one
+        assert "FAILED" in summary_table(summary)
+
+
+class TestParallelDeterminism:
+    def test_jobs2_bit_identical_to_serial(self, small_grid, serial_records):
+        parallel = CampaignRunner(jobs=2).run(small_grid.specs()).records
+        assert _payloads(parallel) == _payloads(serial_records)
+
+    def test_order_independent(self, small_grid, serial_records):
+        reversed_specs = list(small_grid.specs())[::-1]
+        report = CampaignRunner(jobs=2).run(reversed_specs)
+        assert _payloads(report.records[::-1]) == _payloads(serial_records)
+
+    def test_progress_counts_every_campaign(self, small_grid):
+        seen = []
+        runner = CampaignRunner(
+            jobs=2, progress=lambda k, n, r: seen.append((k, n))
+        )
+        runner.run(small_grid.specs())
+        assert sorted(seen) == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestStore:
+    def test_round_trip(self, small_grid, serial_records, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.write_grid(small_grid)
+        for record in serial_records:
+            store.append(record)
+        assert store.read_grid() == small_grid
+        assert _payloads(store.records()) == _payloads(serial_records)
+        assert store.completed_ids() == {
+            r.campaign_id for r in serial_records
+        }
+
+    def test_truncated_tail_tolerated(self, serial_records, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        for record in serial_records[:2]:
+            store.append(record)
+        with store.path.open("a") as handle:
+            handle.write('{"kind": "campaign_record", "trunca')
+        assert len(store.records()) == 2
+
+    def test_last_write_wins(self, serial_records, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        record = serial_records[0]
+        failed = CampaignRecord(spec=record.spec, status="failed", error="x")
+        store.append(failed)
+        store.append(record)
+        records = store.records()
+        assert len(records) == 1 and records[0].ok
+
+    def test_failed_campaigns_are_retried_on_resume(self, tmp_path):
+        spec = CampaignSpec(app="redis", scale="test", eval_runs=5)
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.append(CampaignRecord(spec=spec, status="failed", error="boom"))
+        assert store.completed_ids() == set()
+        report = CampaignRunner(store=store).run([spec])
+        assert report.skipped == 0 and report.records[0].ok
+
+    def test_grid_header_not_overwritten(self, small_grid, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.write_grid(small_grid)
+        other = CampaignGrid(apps=("lammps",), scale="test")
+        store.write_grid(other)
+        assert store.read_grid() == small_grid
+
+
+class TestSummariseOrdering:
+    def test_record_order_does_not_change_bytes(self, serial_records):
+        """Store files are completion-ordered under --jobs; the aggregate
+        must not depend on that order (float reductions are order-sensitive,
+        so summarise sorts each cell by campaign ID first)."""
+        forward = summarise(serial_records).to_json()
+        assert summarise(serial_records[::-1]).to_json() == forward
+
+
+class TestResumeDeterminism:
+    """ISSUE 2 acceptance: interrupt + resume == uninterrupted serial run."""
+
+    def test_resume_skips_stored_and_matches_serial(
+        self, small_grid, serial_records, tmp_path
+    ):
+        specs = list(small_grid.specs())
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.write_grid(small_grid)
+        # Simulated interruption: only the first two campaigns got stored.
+        interrupted = CampaignRunner(jobs=1, store=store).run(specs[:2])
+        assert interrupted.executed == 2
+        # Resume the full grid in parallel; stored campaigns must be skipped.
+        resumed = CampaignRunner(jobs=2, store=store).run(specs)
+        assert resumed.skipped == 2
+        assert resumed.executed == 2
+        # Byte-identical records and aggregate vs the uninterrupted run.
+        assert _payloads(resumed.records) == _payloads(serial_records)
+        assert (
+            summarise(resumed.records).to_json()
+            == summarise(serial_records).to_json()
+        )
+
+    def test_second_resume_runs_nothing(self, small_grid, tmp_path):
+        specs = list(small_grid.specs())
+        store = CampaignStore(tmp_path / "s.jsonl")
+        CampaignRunner(jobs=1, store=store).run(specs)
+        again = CampaignRunner(jobs=2, store=store).run(specs)
+        assert again.executed == 0 and again.skipped == len(specs)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(str, [3, 1, 2], jobs=2) == ["3", "1", "2"]
+
+    def test_serial_fallback(self):
+        assert parallel_map(str, [1], jobs=8) == ["1"]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ReproError):
+            parallel_map(str, [1], jobs=0)

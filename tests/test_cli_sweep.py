@@ -1,0 +1,84 @@
+"""CLI coverage for the sweep / resume / report subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def _sweep_args(store, *, seeds="0,1", jobs="1"):
+    return [
+        "sweep", "--apps", "redis", "--seeds", seeds, "--scale", "test",
+        "--eval-runs", "10", "--jobs", jobs, "--store", str(store), "--quiet",
+    ]
+
+
+class TestSweepCli:
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        assert main(_sweep_args(store, jobs="2")) == 0
+        out = capsys.readouterr().out
+        assert "redis" in out and "2/2 campaigns done" in out
+        assert store.exists()
+
+    def test_sweep_rejects_unknown_strategy(self, tmp_path):
+        args = _sweep_args(tmp_path / "s.jsonl") + ["--strategies", "Nope"]
+        assert main(args) == 2
+
+    def test_resume_skips_completed(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        main(_sweep_args(store))
+        capsys.readouterr()
+        assert main(["resume", str(store), "--jobs", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 0, skipped 2" in out
+
+    def test_resume_finishes_interrupted_sweep(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        # A one-seed sweep stores a grid-of-one...
+        main(_sweep_args(store, seeds="0"))
+        # ...simulate the *same* grid having been interrupted by rewriting
+        # the header: resume re-enumerates two seeds, one already stored.
+        lines = store.read_text().splitlines()
+        lines[0] = lines[0].replace('"seeds": [0]', '"seeds": [0, 1]')
+        store.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["resume", str(store), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 1, skipped 1" in out
+
+    def test_resume_without_store_errors(self, tmp_path):
+        assert main(["resume", str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_report_on_store(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        main(_sweep_args(store))
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 campaigns done" in out
+
+    def test_report_flags_pending_campaigns(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        main(_sweep_args(store, seeds="0"))
+        lines = store.read_text().splitlines()
+        lines[0] = lines[0].replace('"seeds": [0]', '"seeds": [0, 1]')
+        store.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        assert "still pending" in capsys.readouterr().out
+
+    def test_report_still_reads_single_campaign_archives(self, tmp_path, capsys):
+        path = tmp_path / "one.json"
+        assert main([
+            "tune", "--app", "redis", "--scale", "test", "--seed", "1",
+            "--save", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        assert "DarwinGame" in capsys.readouterr().out
+
+    def test_experiment_jobs_flag(self, capsys):
+        assert main([
+            "experiment", "--name", "fig15", "--scale", "test", "--jobs", "2",
+        ]) == 0
+        assert "m5" in capsys.readouterr().out
