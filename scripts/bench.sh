@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Run the perf-regression benchmarks and append each measurement to the
 # single BENCH.jsonl perf-trajectory file in the repo root, one JSON object
-# per line.  Legacy per-date BENCH_<date>.json files (the pre-ISSUE-2
-# format) are migrated into BENCH.jsonl on sight, so the trajectory never
-# splinters across files again.  Extra arguments are passed through to
-# pytest.
+# per line.  Every entry records the machine conditions it was measured
+# under — the visible core count ("cores", ROADMAP's 1-core caveat made
+# machine-readable) and the surface-cache state ("cache": cold/warm) — so
+# trajectory rows are comparable without reading prose.  Legacy per-date
+# BENCH_<date>.json files (the pre-ISSUE-2 format) are migrated into
+# BENCH.jsonl on sight, so the trajectory never splinters across files
+# again.  Extra arguments are passed through to pytest.
 #
 #   scripts/bench.sh            # run all perf benchmarks + append
 #   scripts/bench.sh -k wall    # only the tune() wall-time gate

@@ -21,6 +21,7 @@ from repro.apps import (
     make_lammps,
     make_redis,
 )
+from repro.caching import ApplicationCache, SurfaceCache
 from repro.campaigns import (
     CampaignGrid,
     CampaignRecord,
@@ -63,6 +64,7 @@ __all__ = [
     "ABLATION_NAMES",
     "APPLICATION_NAMES",
     "ActiveHarmonyLike",
+    "ApplicationCache",
     "ApplicationModel",
     "BlissLike",
     "CampaignGrid",
@@ -88,6 +90,7 @@ __all__ = [
     "RandomSearch",
     "ReplayedInterference",
     "SearchSpace",
+    "SurfaceCache",
     "SweepReport",
     "SweepSummary",
     "ThompsonSamplingTuner",

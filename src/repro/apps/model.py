@@ -15,12 +15,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.apps.surfaces import PerformanceSurface
+from repro.errors import ReproError
 from repro.space.space import SearchSpace
+
+#: A surface loader returns ``(true_time, sensitivity)`` full-space arrays
+#: (e.g. read from :mod:`repro.caching`'s disk tier) or ``None`` on a miss.
+SurfaceLoader = Callable[[], Optional[Tuple[np.ndarray, np.ndarray]]]
 
 
 @dataclass(frozen=True)
@@ -41,16 +46,21 @@ _FULL_MEMO_LIMIT = 4_194_304
 
 
 def _memoised(
-    memo: np.ndarray, idx: np.ndarray, compute
+    memo: np.ndarray, seen: np.ndarray, idx: np.ndarray, compute
 ) -> np.ndarray:
-    """Gather ``idx`` from ``memo``, computing not-yet-seen entries once."""
-    gathered = memo[idx]
-    missing = np.isnan(gathered)
+    """Gather ``idx`` from ``memo``, computing not-yet-seen entries once.
+
+    Seen-ness is an explicit boolean mask, not a NaN sentinel: an entry whose
+    *computed value* is non-finite would match a NaN sentinel forever and be
+    recomputed on every gather — and a disk-persisted memo could not tell
+    "never computed" from "computed as NaN".
+    """
+    missing = ~seen[idx]
     if missing.any():
         fill = np.unique(idx[missing])
         memo[fill] = compute(fill)
-        gathered = memo[idx]
-    return gathered
+        seen[fill] = True
+    return memo[idx]
 
 
 class ApplicationModel:
@@ -80,7 +90,11 @@ class ApplicationModel:
         self.work_metric = work_metric
         self.scale = scale
         self._time_memo: Optional[np.ndarray] = None
+        self._time_seen: Optional[np.ndarray] = None
         self._sens_memo: Optional[np.ndarray] = None
+        self._sens_seen: Optional[np.ndarray] = None
+        self._surface_loader: Optional[SurfaceLoader] = None
+        self._loader_probed = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -106,23 +120,114 @@ class ApplicationModel:
             and bool(np.all((idx >= 0) & (idx < self.space.size)))
         )
 
+    def _ensure_memos(self) -> None:
+        """Allocate the memo arrays, consulting the attached cache first."""
+        if self._time_memo is not None:
+            return
+        if self._surface_loader is not None and not self._loader_probed:
+            self._loader_probed = True
+            loaded = self._surface_loader()
+            if loaded is not None:
+                self.load_surfaces(*loaded)
+                return
+        self._time_memo = np.empty(self.space.size)
+        self._time_seen = np.zeros(self.space.size, dtype=bool)
+        self._sens_memo = np.empty(self.space.size)
+        self._sens_seen = np.zeros(self.space.size, dtype=bool)
+
     def true_time(self, indices) -> np.ndarray:
         """Interference-free execution time (seconds) of each configuration."""
         idx = np.asarray(indices, dtype=np.int64)
         if not self._can_memo(idx):
             return self._compute_true_time(idx)
-        if self._time_memo is None:
-            self._time_memo = np.full(self.space.size, np.nan)
-        return _memoised(self._time_memo, idx, self._compute_true_time)
+        self._ensure_memos()
+        return _memoised(
+            self._time_memo, self._time_seen, idx, self._compute_true_time
+        )
 
     def sensitivity(self, indices) -> np.ndarray:
         """Noise sensitivity of each configuration (0 = immune)."""
         idx = np.asarray(indices, dtype=np.int64)
         if not self._can_memo(idx):
             return self._compute_sensitivity(idx)
-        if self._sens_memo is None:
-            self._sens_memo = np.full(self.space.size, np.nan)
-        return _memoised(self._sens_memo, idx, self._compute_sensitivity)
+        self._ensure_memos()
+        return _memoised(
+            self._sens_memo, self._sens_seen, idx, self._compute_sensitivity
+        )
+
+    # -- persisted surfaces (the repro.caching disk tier) -----------------
+
+    @property
+    def memoisable(self) -> bool:
+        """Whether the space is small enough for full surface tables."""
+        return self.space.size <= _FULL_MEMO_LIMIT
+
+    @property
+    def surfaces_complete(self) -> bool:
+        """True once every configuration's surface values are memoised."""
+        return (
+            self._time_seen is not None
+            and bool(self._time_seen.all())
+            and bool(self._sens_seen.all())
+        )
+
+    def set_surface_loader(self, loader: Optional[SurfaceLoader]) -> None:
+        """Attach a lazy source of full surface tables (a cache handle).
+
+        The loader is consulted at most once, the first time a memoisable
+        query needs the tables; a miss (``None``) falls back to ordinary
+        incremental memoisation.
+        """
+        self._surface_loader = loader
+        self._loader_probed = False
+
+    def load_cached_surfaces(self) -> bool:
+        """Probe the attached loader now (prewarm); True if tables are full."""
+        if self.memoisable:
+            self._ensure_memos()
+        return self.surfaces_complete
+
+    def export_surfaces(self) -> Dict[str, np.ndarray]:
+        """Complete and return the full-space surface tables.
+
+        Computes any not-yet-seen entries (chunked, so peak memory stays
+        bounded) and returns ``{"true_time", "sensitivity"}`` arrays of
+        length ``space.size`` — the payload :mod:`repro.caching` persists.
+        """
+        if not self.memoisable:
+            raise ReproError(
+                f"{self.name}({self.scale}) space of {self.space.size} points "
+                f"exceeds the {_FULL_MEMO_LIMIT}-point surface-table limit"
+            )
+        for chunk in self.space.iter_chunks():
+            self.true_time(chunk)
+            self.sensitivity(chunk)
+        return {
+            "true_time": self._time_memo.copy(),
+            "sensitivity": self._sens_memo.copy(),
+        }
+
+    def load_surfaces(
+        self, true_time: np.ndarray, sensitivity: np.ndarray
+    ) -> None:
+        """Install full-space surface tables (inverse of :meth:`export_surfaces`).
+
+        Validates shape and dtype; the caller (the cache) is responsible for
+        only feeding back tables produced by an identical surface — see
+        :meth:`repro.apps.surfaces.PerformanceSurface.content_hash`.
+        """
+        times = np.ascontiguousarray(true_time, dtype=np.float64)
+        sens = np.ascontiguousarray(sensitivity, dtype=np.float64)
+        for label, arr in (("true_time", times), ("sensitivity", sens)):
+            if arr.shape != (self.space.size,):
+                raise ReproError(
+                    f"{label} table shape {arr.shape} does not match "
+                    f"{self.name}({self.scale}) space of {self.space.size} points"
+                )
+        self._time_memo = times
+        self._time_seen = np.ones(self.space.size, dtype=bool)
+        self._sens_memo = sens
+        self._sens_seen = np.ones(self.space.size, dtype=bool)
 
     def is_robust(self, indices) -> np.ndarray:
         """Whether each configuration belongs to the interference-immune subset."""
@@ -134,8 +239,10 @@ class ApplicationModel:
         best_idx: Optional[int] = None
         best_time = np.inf
         for chunk in self.space.iter_chunks():
-            levels = self.space.levels_matrix(chunk)
-            times = self.surface.times_of_levels(levels)
+            # Route through true_time so the scan both benefits from and
+            # (on small spaces) populates the memoised surface tables —
+            # a prewarmed cache turns the whole scan into array gathers.
+            times = self.true_time(chunk)
             if mask_robust:
                 robust = self.surface.robust_mask(chunk)
                 times = np.where(robust, times, np.inf)

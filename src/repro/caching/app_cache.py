@@ -1,0 +1,110 @@
+"""The in-memory application tier, and this process's cache handles.
+
+:class:`ApplicationCache` replaces the campaign runner's former ad-hoc
+module-global dict: a *bounded* LRU of built
+:class:`~repro.apps.model.ApplicationModel` instances keyed by
+``(name, scale)``, with an explicit :meth:`~ApplicationCache.clear` hook so
+long-lived service processes cannot grow without limit and test fixtures
+can reset shared state between tests.
+
+The module also owns the two process-global handles the campaign stack
+shares: the application tier itself, and the optional
+:class:`~repro.caching.surface_cache.SurfaceCache` newly built applications
+are attached to (set by the runner / pool initializer before a sweep, so
+every worker starts hot).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.apps.model import ApplicationModel
+from repro.caching.surface_cache import SurfaceCache
+from repro.errors import ReproError
+
+AppKey = Tuple[str, object]
+
+
+class ApplicationCache:
+    """Bounded LRU of built application models, keyed by ``(name, scale)``.
+
+    Campaigns of one sweep share surfaces (and their memoised tables) the
+    way the former serial drivers shared one ``ApplicationModel`` instance;
+    the bound keeps a long-lived process serving many different
+    (app, scale) combinations at a predictable memory ceiling.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        if maxsize < 1:
+            raise ReproError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[AppKey, ApplicationModel]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, scale) -> ApplicationModel:
+        """The shared application instance for ``(name, scale)``.
+
+        Built on first use via the registry — attached to the process's
+        surface cache if one is set — then served from memory, evicting the
+        least recently used entry beyond :attr:`maxsize`.
+        """
+        key: AppKey = (name, scale)
+        app = self._entries.get(key)
+        if app is not None:
+            self._entries.move_to_end(key)
+            return app
+        from repro.apps.registry import make_application
+
+        app = make_application(name, scale=scale, cache=process_surface_cache())
+        self._entries[key] = app
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return app
+
+    def clear(self) -> None:
+        """Drop every cached application (tests; bounded-lifetime services)."""
+        self._entries.clear()
+
+
+#: This process's shared application tier (what the runner's
+#: ``cached_application`` serves from).
+_PROCESS_APP_CACHE = ApplicationCache()
+
+#: The surface cache newly built applications attach to, if any.
+_PROCESS_SURFACE_CACHE: Optional[SurfaceCache] = None
+
+
+def process_app_cache() -> ApplicationCache:
+    """This process's shared in-memory application tier."""
+    return _PROCESS_APP_CACHE
+
+
+def process_surface_cache() -> Optional[SurfaceCache]:
+    """The process-wide surface cache handle (``None`` = caching disabled)."""
+    return _PROCESS_SURFACE_CACHE
+
+
+def set_process_surface_cache(cache: Optional[SurfaceCache]) -> None:
+    """Point this process at a surface cache (or detach with ``None``).
+
+    Only applications built *after* the call attach to the cache; the
+    runner sets it before building or warming anything.
+    """
+    global _PROCESS_SURFACE_CACHE
+    _PROCESS_SURFACE_CACHE = cache
+
+
+def clear_process_caches() -> None:
+    """Reset both process-global handles (the test-fixture hook).
+
+    Drops every cached application, detaches the surface cache, and empties
+    its in-memory tier — disk entries are left alone, they are validated
+    on every open.
+    """
+    _PROCESS_APP_CACHE.clear()
+    if _PROCESS_SURFACE_CACHE is not None:
+        _PROCESS_SURFACE_CACHE.clear_memory()
+    set_process_surface_cache(None)

@@ -1,0 +1,53 @@
+"""Content-addressed identity of a persisted application surface.
+
+A cache entry is valid for exactly one surface realisation.  The key
+therefore captures everything the surface outputs depend on:
+
+* the application name and scale label (human-readable prefix, and the
+  level at which grids were truncated),
+* a content fingerprint — :meth:`repro.apps.surfaces.PerformanceSurface.
+  content_hash` over the spec constants, parameter grids, realised effect
+  tables and hash salts, so *any* change to the surface construction (a
+  recalibrated constant, a different seed, a new RNG stream) yields a new
+  key instead of serving stale tables, and
+* the calibration version — bumped by hand when the *formulas* that map
+  tables to times/sensitivities change without changing the tables
+  themselves (e.g. the soft-knee in ``quality_of_levels``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.model import ApplicationModel
+
+#: Version of the surface *evaluation* code (see module docstring).  Bump
+#: whenever :mod:`repro.apps.surfaces` changes how tables become outputs.
+CALIBRATION_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SurfaceKey:
+    """Identity of one application's persisted surface tables."""
+
+    app: str
+    scale: str
+    fingerprint: str
+    calibration_version: int = CALIBRATION_VERSION
+
+    @property
+    def filename(self) -> str:
+        """Content-addressed file name of this entry in the disk tier."""
+        return (
+            f"{self.app}-{self.scale}-v{self.calibration_version}"
+            f"-{self.fingerprint[:16]}.npz"
+        )
+
+
+def surface_key(app: ApplicationModel) -> SurfaceKey:
+    """The cache key of an application model's surface."""
+    return SurfaceKey(
+        app=app.name,
+        scale=app.scale,
+        fingerprint=app.surface.content_hash(),
+    )

@@ -1,0 +1,294 @@
+"""The two-tier (memory + disk) cache of application surface tables.
+
+Campaign fleets tune the *same* four applications thousands of times; the
+surfaces those campaigns evaluate are deterministic functions of the
+application definition.  This module persists each application's full
+``true_time``/``sensitivity`` tables as content-addressed ``.npz`` files so
+the expensive first-touch computation happens once per machine instead of
+once per process, and shares loaded tables through a small in-memory tier
+so repeated lookups within a process never touch the disk twice.
+
+Correctness rests on content addressing: an entry's file name and embedded
+metadata carry the surface's :meth:`~repro.apps.surfaces.PerformanceSurface.
+content_hash`, so a recalibrated or re-seeded surface can never be served
+stale tables — it simply misses and recomputes.  Entries are validated on
+open (metadata match + array shape/dtype); anything invalid or truncated is
+treated as a miss and overwritten by the next :meth:`SurfaceCache.warm`.
+Writes go through a temporary file and ``os.replace``, so readers never see
+a partially written entry even with concurrent warmers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.apps.model import ApplicationModel
+from repro.caching.keys import CALIBRATION_VERSION, SurfaceKey, surface_key
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+Arrays = Tuple[np.ndarray, np.ndarray]
+
+#: Statuses :meth:`SurfaceCache.warm` reports per application.
+WARM_COMPUTED = "computed"
+WARM_REUSED = "reused"
+WARM_UNMEMOISABLE = "unmemoisable"
+
+
+def default_cache_dir() -> Path:
+    """Where surface tables live unless a directory is given explicitly.
+
+    ``$REPRO_CACHE_DIR`` overrides the per-user default, so CI jobs and
+    shared machines can point every process at one warm directory.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro/surfaces").expanduser()
+
+
+@dataclass(frozen=True)
+class SurfaceEntry:
+    """One cache entry, as reported by :meth:`SurfaceCache.info` / ``warm``."""
+
+    app: str
+    scale: str
+    points: int
+    path: Path
+    size_bytes: int
+    fingerprint: str
+    calibration_version: int
+    status: str = ""
+
+
+class SurfaceCache:
+    """Two-tier surface cache: bounded in-memory arrays over ``.npz`` files.
+
+    Args:
+        directory: disk-tier location; defaults to :func:`default_cache_dir`.
+        memory_entries: how many applications' tables the in-memory tier
+            holds (LRU-evicted; a full-scale pair is ~128 MB, typical bench
+            pairs are a few MB).
+    """
+
+    def __init__(
+        self, directory: Optional[PathLike] = None, *, memory_entries: int = 8
+    ) -> None:
+        if memory_entries < 1:
+            raise ReproError(
+                f"memory_entries must be >= 1, got {memory_entries}"
+            )
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, Arrays]" = OrderedDict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SurfaceCache({str(self.directory)!r})"
+
+    def path_for(self, key: SurfaceKey) -> Path:
+        return self.directory / key.filename
+
+    # -- the read path (lazy, validated) --------------------------------
+
+    def install(self, app: ApplicationModel) -> None:
+        """Attach this cache as the application's lazy surface source.
+
+        The application pulls the tables the first time a surface query
+        needs them; a miss silently falls back to incremental computation.
+        Unmemoisable (too large) spaces are left untouched.
+        """
+        if not app.memoisable:
+            return
+        key = surface_key(app)
+        app.set_surface_loader(lambda: self.fetch(key, app.space.size))
+
+    def fetch(self, key: SurfaceKey, expected_points: int) -> Optional[Arrays]:
+        """Tables for ``key``: memory tier, then validated disk read."""
+        hit = self._memory.get(key.fingerprint)
+        if hit is not None:
+            self._memory.move_to_end(key.fingerprint)
+            return hit
+        arrays = self._read(key, expected_points)
+        if arrays is not None:
+            self._remember(key.fingerprint, arrays)
+        return arrays
+
+    def _remember(self, fingerprint: str, arrays: Arrays) -> None:
+        self._memory[fingerprint] = arrays
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def _read(self, key: SurfaceKey, expected_points: int) -> Optional[Arrays]:
+        """Validated disk read; any mismatch or corruption is a miss."""
+        path = self.path_for(key)
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(str(npz["meta"][()]))
+                if (
+                    meta.get("fingerprint") != key.fingerprint
+                    or meta.get("calibration_version") != key.calibration_version
+                    or meta.get("points") != expected_points
+                ):
+                    return None
+                times = np.ascontiguousarray(npz["true_time"], dtype=np.float64)
+                sens = np.ascontiguousarray(npz["sensitivity"], dtype=np.float64)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            return None
+        if times.shape != (expected_points,) or sens.shape != (expected_points,):
+            return None
+        return times, sens
+
+    # -- the write path (atomic) -----------------------------------------
+
+    def store(self, app: ApplicationModel) -> Path:
+        """Compute (if needed) and persist the application's full tables."""
+        key = surface_key(app)
+        arrays = app.export_surfaces()
+        meta = {
+            "app": key.app,
+            "scale": key.scale,
+            "fingerprint": key.fingerprint,
+            "calibration_version": key.calibration_version,
+            "points": int(app.space.size),
+        }
+        path = self.path_for(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=key.filename, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    meta=np.array(json.dumps(meta, sort_keys=True)),
+                    true_time=arrays["true_time"],
+                    sensitivity=arrays["sensitivity"],
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._remember(
+            key.fingerprint, (arrays["true_time"], arrays["sensitivity"])
+        )
+        return path
+
+    # -- operations (CLI: repro cache warm / info / clear) ----------------
+
+    def warm(
+        self,
+        pairs: Iterable[Tuple[str, object]],
+        *,
+        builder: Optional[Callable[[str, object], ApplicationModel]] = None,
+    ) -> List[SurfaceEntry]:
+        """Ensure a valid disk entry exists for every ``(app, scale)`` pair.
+
+        Valid existing entries are reused untouched; missing or invalid ones
+        are computed and persisted.  ``builder`` lets callers reuse an
+        in-memory application tier (the warmed model ends up with complete
+        tables either way); the default builds throwaway models via the
+        registry.  Spaces above the memoisation limit are reported as
+        ``"unmemoisable"`` and skipped rather than failing the warm.
+        """
+        from repro.apps.registry import make_application
+
+        entries: List[SurfaceEntry] = []
+        for name, scale in dict.fromkeys(pairs):
+            app = (
+                builder(name, scale)
+                if builder is not None
+                else make_application(name, scale=scale, cache=self)
+            )
+            if not app.memoisable:
+                entries.append(
+                    SurfaceEntry(
+                        app=app.name,
+                        scale=app.scale,
+                        points=app.space.size,
+                        path=self.directory,
+                        size_bytes=0,
+                        fingerprint="",
+                        calibration_version=CALIBRATION_VERSION,
+                        status=WARM_UNMEMOISABLE,
+                    )
+                )
+                continue
+            key = surface_key(app)
+            path = self.path_for(key)
+            # Validate the *disk* entry, not the memory tier: warm's
+            # contract is that workers can read the persisted file, which
+            # another process may have cleared since we last loaded it.
+            if self._read(key, app.space.size) is not None:
+                status = WARM_REUSED
+            else:
+                path = self.store(app)
+                status = WARM_COMPUTED
+            entries.append(
+                SurfaceEntry(
+                    app=app.name,
+                    scale=app.scale,
+                    points=app.space.size,
+                    path=path,
+                    size_bytes=path.stat().st_size,
+                    fingerprint=key.fingerprint,
+                    calibration_version=key.calibration_version,
+                    status=status,
+                )
+            )
+        return entries
+
+    def info(self) -> List[SurfaceEntry]:
+        """Metadata of every entry in the disk tier (no table loads)."""
+        entries: List[SurfaceEntry] = []
+        if not self.directory.is_dir():
+            return entries
+        for path in sorted(self.directory.glob("*.npz")):
+            try:
+                with np.load(path, allow_pickle=False) as npz:
+                    meta = json.loads(str(npz["meta"][()]))
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                continue
+            entries.append(
+                SurfaceEntry(
+                    app=str(meta.get("app", "?")),
+                    scale=str(meta.get("scale", "?")),
+                    points=int(meta.get("points", 0)),
+                    path=path,
+                    size_bytes=path.stat().st_size,
+                    fingerprint=str(meta.get("fingerprint", "")),
+                    calibration_version=int(meta.get("calibration_version", 0)),
+                )
+            )
+        return entries
+
+    def clear(self) -> int:
+        """Drop both tiers; returns how many disk entries were removed."""
+        self.clear_memory()
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier only (disk entries stay warm)."""
+        self._memory.clear()
+
+
+def grid_app_pairs(specs: Sequence) -> List[Tuple[str, object]]:
+    """Ordered-unique ``(app, scale)`` pairs of a list of campaign specs."""
+    return list(dict.fromkeys((spec.app, spec.scale) for spec in specs))

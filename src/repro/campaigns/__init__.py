@@ -30,7 +30,7 @@ from repro.campaigns.runner import (
     parallel_map,
 )
 from repro.campaigns.spec import CampaignGrid, CampaignSpec, repeat_specs
-from repro.campaigns.store import CampaignRecord, CampaignStore
+from repro.campaigns.store import CampaignRecord, CampaignStore, StoreLock
 
 __all__ = [
     "CampaignGrid",
@@ -38,6 +38,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStore",
+    "StoreLock",
     "SweepReport",
     "SweepRow",
     "SweepSummary",

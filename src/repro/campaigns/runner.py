@@ -18,12 +18,21 @@ replacement for the drivers' former hand-rolled loops:
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.caching import (
+    SurfaceCache,
+    grid_app_pairs,
+    process_app_cache,
+    process_surface_cache,
+    set_process_surface_cache,
+)
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import (
     STATUS_DONE,
@@ -33,11 +42,6 @@ from repro.campaigns.store import (
 )
 from repro.errors import ReproError
 
-#: Per-process cache of built applications: campaigns of the same sweep
-#: share surfaces (and their memoised true-time tables) like the former
-#: serial drivers shared one ``ApplicationModel`` instance.
-_APP_CACHE: Dict[tuple, object] = {}
-
 
 def cached_application(name: str, scale):
     """The per-process shared application instance campaigns run against.
@@ -46,20 +50,43 @@ def cached_application(name: str, scale):
     ``optimal.true_time``) should use this instead of building their own
     instance: with ``jobs=1`` the campaigns execute in the same process, so
     the expensive memoised tables are computed once, not twice.
+
+    Served by the process's bounded :class:`repro.caching.ApplicationCache`
+    tier; when a surface cache is set (``sweep --cache-dir``), applications
+    built here start with their persisted surface tables attached.
     """
-    from repro.apps.registry import make_application
-
-    key = (name, scale)
-    app = _APP_CACHE.get(key)
-    if app is None:
-        app = _APP_CACHE.setdefault(key, make_application(name, scale=scale))
-    return app
+    return process_app_cache().get(name, scale)
 
 
-def _pool_context():
-    """``fork`` where the platform offers it (cheap workers), else spawn."""
+def _pool_context(start_method: Optional[str] = None):
+    """``fork`` where the platform offers it (cheap workers), else spawn.
+
+    ``start_method`` forces a specific method (the spawn path is what
+    non-fork platforms get; tests pin it to cover that fallback).
+    """
     methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ReproError(
+                f"start method {start_method!r} not available; "
+                f"this platform offers {methods}"
+            )
+        return multiprocessing.get_context(start_method)
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_init(cache_dir: Optional[str], app_keys: Sequence[Tuple[str, object]]):
+    """Pool initializer: workers start hot instead of rebuilding per task.
+
+    Builds the sweep's applications into the worker's in-memory tier up
+    front and — when the sweep has a surface cache — loads their persisted
+    surface tables, so even ``spawn`` workers begin their first campaign
+    with fully memoised surfaces.
+    """
+    if cache_dir is not None:
+        set_process_surface_cache(SurfaceCache(cache_dir))
+    for name, scale in app_keys:
+        cached_application(name, scale).load_cached_surfaces()
 
 
 def default_jobs() -> int:
@@ -164,9 +191,17 @@ class CampaignRunner:
     Args:
         jobs: worker processes; ``1`` executes inline (no pool).
         store: optional checkpoint store — enables skip-done resume and
-            per-campaign durability.
+            per-campaign durability.  The runner holds the store's advisory
+            lock while executing, so two concurrent sweeps cannot silently
+            interleave appends into one file.
         progress: optional callback ``(finished_count, total, record)``
             invoked as campaigns complete (store replays excluded).
+        cache_dir: optional surface-cache directory.  Before executing, the
+            grid's applications are warmed into it (valid entries reused,
+            missing ones computed and persisted) and every worker process
+            prewarms from it, so campaigns start with hot surface tables.
+        start_method: force a multiprocessing start method (``"fork"`` /
+            ``"spawn"``); default picks what :func:`_pool_context` picks.
     """
 
     def __init__(
@@ -174,15 +209,26 @@ class CampaignRunner:
         jobs: int = 1,
         store: Optional[CampaignStore] = None,
         progress: Optional[ProgressFn] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        start_method: Optional[str] = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.store = store
         self.progress = progress
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.start_method = start_method
 
-    def run(self, specs: Iterable[CampaignSpec]) -> SweepReport:
-        """Execute every spec (or recall it from the store); see class docs."""
+    def run(self, specs: Iterable[CampaignSpec], *, grid=None) -> SweepReport:
+        """Execute every spec (or recall it from the store); see class docs.
+
+        ``grid`` (a :class:`~repro.campaigns.spec.CampaignGrid`) is recorded
+        as the store's header line *inside* the store lock — callers must
+        not write it themselves, or two racing sweeps could both see an
+        empty store and leave it with one sweep's header over the other's
+        records.
+        """
         specs = list(specs)
         ids = [s.campaign_id for s in specs]
         if len(set(ids)) != len(ids):
@@ -190,29 +236,47 @@ class CampaignRunner:
             raise ReproError(f"duplicate campaign specs submitted: {dupes[:3]}")
 
         t0 = time.perf_counter()
-        results: Dict[int, CampaignRecord] = {}
-        pending: List[Tuple[int, CampaignSpec]] = []
-        if self.store is not None:
-            stored = self.store.lookup(specs)
-        else:
-            stored = {}
-        for index, spec in enumerate(specs):
-            record = stored.get(spec.campaign_id)
-            if record is not None and record.ok:
-                results[index] = record
-            else:
-                pending.append((index, spec))
+        guard = (
+            self.store.exclusive()
+            if self.store is not None
+            else contextlib.nullcontext()
+        )
+        previous_surface_cache = process_surface_cache()
+        try:
+            with guard:
+                results: Dict[int, CampaignRecord] = {}
+                pending: List[Tuple[int, CampaignSpec]] = []
+                if self.store is not None:
+                    if grid is not None:
+                        self.store.write_grid(grid)
+                    stored = self.store.lookup(specs)
+                else:
+                    stored = {}
+                for index, spec in enumerate(specs):
+                    record = stored.get(spec.campaign_id)
+                    if record is not None and record.ok:
+                        results[index] = record
+                    else:
+                        pending.append((index, spec))
 
-        skipped = len(specs) - len(pending)
-        total = len(pending)
-        finished = 0
-        for index, record in self._execute(pending):
-            results[index] = record
-            finished += 1
-            if self.store is not None:
-                self.store.append(record)
-            if self.progress is not None:
-                self.progress(finished, total, record)
+                if self.cache_dir is not None and pending:
+                    self._warm_cache([spec for _, spec in pending])
+
+                skipped = len(specs) - len(pending)
+                total = len(pending)
+                finished = 0
+                for index, record in self._execute(pending):
+                    results[index] = record
+                    finished += 1
+                    if self.store is not None:
+                        self.store.append(record)
+                    if self.progress is not None:
+                        self.progress(finished, total, record)
+        finally:
+            # _warm_cache points the process at this sweep's surface cache;
+            # a later cacheless run in the same process must not inherit it.
+            if self.cache_dir is not None:
+                set_process_surface_cache(previous_surface_cache)
 
         return SweepReport(
             records=[results[i] for i in range(len(specs))],
@@ -222,6 +286,20 @@ class CampaignRunner:
             jobs=self.jobs,
         )
 
+    def _warm_cache(self, pending_specs: Sequence[CampaignSpec]) -> None:
+        """Warm the disk tier once, in the parent, before any worker starts.
+
+        Workers then only ever *read* the persisted tables (their pool
+        initializer loads them), so the expensive first-touch computation
+        happens at most once per machine rather than once per process.
+        """
+        cache = SurfaceCache(self.cache_dir)
+        set_process_surface_cache(cache)
+        cache.warm(
+            grid_app_pairs(pending_specs),
+            builder=lambda name, scale: process_app_cache().get(name, scale),
+        )
+
     def _execute(self, pending: Sequence[Tuple[int, CampaignSpec]]):
         if not pending:
             return
@@ -229,8 +307,14 @@ class CampaignRunner:
             for item in pending:
                 yield _execute_indexed(item)
             return
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(self.jobs, len(pending))) as pool:
+        ctx = _pool_context(self.start_method)
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        app_keys = grid_app_pairs([spec for _, spec in pending])
+        with ctx.Pool(
+            processes=min(self.jobs, len(pending)),
+            initializer=_worker_init,
+            initargs=(cache_dir, app_keys),
+        ) as pool:
             # chunksize=1: campaigns are coarse-grained, balance beats batching.
             for index, record in pool.imap_unordered(
                 _execute_indexed, pending, chunksize=1

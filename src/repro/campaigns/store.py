@@ -23,9 +23,15 @@ failed campaign retried on resume), the last record wins.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.campaigns.spec import CampaignGrid, CampaignSpec
 from repro.errors import ReproError
@@ -156,6 +162,67 @@ class CampaignRecord:
         )
 
 
+class StoreLock:
+    """Advisory exclusive lock guarding a store against concurrent sweeps.
+
+    Two sweeps appending to the same JSONL would interleave silently —
+    each would skip-done against a snapshot the other is growing.  The lock
+    turns that into a clear :class:`ReproError` up front.  It is ``flock``
+    on a ``<store>.lock`` sidecar, so it is advisory (plain readers like
+    ``repro report`` are never blocked) and the kernel releases it if the
+    holding process dies — a stale lock *file* on disk is harmless.
+    """
+
+    def __init__(self, store_path: Path):
+        self.store_path = Path(store_path)
+        self.path = self.store_path.with_name(self.store_path.name + ".lock")
+        self._handle = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> "StoreLock":
+        if self.held:
+            raise ReproError(f"store lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(self.path, "a+", encoding="utf-8")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.seek(0)  # "a+" opens positioned at EOF
+                holder = handle.read().strip() or "unknown pid"
+                handle.close()
+                raise ReproError(
+                    f"campaign store {self.store_path} is locked by another "
+                    f"running sweep ({holder}); concurrent sweeps on one "
+                    f"store would corrupt it — wait for the other sweep or "
+                    f"point it at a different --store"
+                ) from None
+        # Diagnostics only; the lock itself is the flock, not the content.
+        handle.seek(0)
+        handle.truncate()
+        handle.write(f"pid {os.getpid()}\n")
+        handle.flush()
+        self._handle = handle
+        return self
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
 class CampaignStore:
     """Append-only JSONL store shared by sweeps, resume, and reporting."""
 
@@ -164,6 +231,15 @@ class CampaignStore:
 
     def exists(self) -> bool:
         return self.path.exists()
+
+    def exclusive(self) -> StoreLock:
+        """An (unacquired) writer lock; use as a context manager.
+
+        :class:`repro.campaigns.runner.CampaignRunner` holds it for the
+        duration of a sweep so a second concurrent sweep on the same store
+        fails fast instead of silently interleaving appends.
+        """
+        return StoreLock(self.path)
 
     def __len__(self) -> int:
         return len(self.records())

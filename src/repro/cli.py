@@ -10,6 +10,9 @@ Subcommands::
         --store sweep.jsonl
     python -m repro resume sweep.jsonl --jobs 4
     python -m repro report sweep.jsonl
+    python -m repro cache warm --apps redis,lammps --scale bench
+    python -m repro cache info
+    python -m repro cache clear
 
 The CLI is a thin layer over the library; anything it prints can be
 recomputed programmatically through :mod:`repro.experiments` and
@@ -23,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.apps.registry import APPLICATION_NAMES, make_application
+from repro.caching import SurfaceCache, default_cache_dir
 from repro.campaigns import (
     CampaignGrid,
     CampaignRunner,
@@ -140,12 +144,13 @@ def _progress_printer(quiet: bool):
 
 
 def _run_sweep(grid: CampaignGrid, store: CampaignStore, jobs: int,
-               quiet: bool = False) -> int:
-    store.write_grid(grid)
+               quiet: bool = False, cache_dir: str = "") -> int:
     runner = CampaignRunner(
-        jobs=jobs, store=store, progress=_progress_printer(quiet)
+        jobs=jobs, store=store, progress=_progress_printer(quiet),
+        cache_dir=cache_dir or None,
     )
-    report = runner.run(grid.specs())
+    # The runner writes the grid header itself, inside the store lock.
+    report = runner.run(grid.specs(), grid=grid)
     print(summary_table(summarise(report.records), title=f"sweep {store.path}"))
     print(
         f"executed {report.executed}, skipped {report.skipped} already stored, "
@@ -173,7 +178,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         eval_runs=args.eval_runs,
     )
-    return _run_sweep(grid, CampaignStore(args.store), args.jobs, args.quiet)
+    return _run_sweep(
+        grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir
+    )
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -186,7 +193,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         print(f"{store.path} has no grid header; re-run `repro sweep` with "
               f"the original arguments and --store {store.path}")
         return 2
-    return _run_sweep(grid, store, args.jobs, args.quiet)
+    return _run_sweep(grid, store, args.jobs, args.quiet, args.cache_dir)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -331,6 +338,56 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_from_args(args: argparse.Namespace) -> SurfaceCache:
+    return SurfaceCache(args.cache_dir or None)
+
+
+def _cmd_cache_warm(args: argparse.Namespace) -> int:
+    cache = _cache_from_args(args)
+    apps = tuple(s.strip() for s in args.apps.split(",") if s.strip())
+    unknown = [a for a in apps if a not in APPLICATION_NAMES]
+    if unknown:
+        print(f"unknown applications: {unknown}; "
+              f"available: {list(APPLICATION_NAMES)}")
+        return 2
+    entries = cache.warm((name, args.scale) for name in apps)
+    print(render_table(
+        ["application", "scale", "points", "status", "size (KiB)"],
+        [
+            (e.app, e.scale, e.points, e.status, round(e.size_bytes / 1024, 1))
+            for e in entries
+        ],
+        title=f"surface cache {cache.directory}",
+    ))
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    cache = _cache_from_args(args)
+    entries = cache.info()
+    if not entries:
+        print(f"surface cache {cache.directory} is empty — warm it with "
+              f"`python -m repro cache warm`")
+        return 0
+    print(render_table(
+        ["application", "scale", "points", "size (KiB)", "file"],
+        [
+            (e.app, e.scale, e.points, round(e.size_bytes / 1024, 1),
+             e.path.name)
+            for e in entries
+        ],
+        title=f"surface cache {cache.directory}",
+    ))
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = _cache_from_args(args)
+    removed = cache.clear()
+    print(f"removed {removed} cached surface(s) from {cache.directory}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -389,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint store (resumable)",
     )
     p_sweep.add_argument(
+        "--cache-dir", default="",
+        help="surface-cache directory: warm it before the sweep and prewarm "
+             "every worker from it (empty = no persistent cache)",
+    )
+    p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -401,9 +463,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="parallel worker processes"
     )
     p_resume.add_argument(
+        "--cache-dir", default="",
+        help="surface-cache directory (see sweep --cache-dir)",
+    )
+    p_resume.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_cache = sub.add_parser(
+        "cache", help="manage the persistent application-surface cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def _add_cache_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir", default="",
+            help=f"cache directory (default: {default_cache_dir()}, "
+                 f"or $REPRO_CACHE_DIR)",
+        )
+
+    p_cwarm = cache_sub.add_parser(
+        "warm", help="precompute and persist application surface tables"
+    )
+    p_cwarm.add_argument(
+        "--apps", default=",".join(APPLICATION_NAMES),
+        help="comma-separated application names",
+    )
+    p_cwarm.add_argument("--scale", default="bench", help="space scale preset")
+    _add_cache_dir(p_cwarm)
+    p_cwarm.set_defaults(func=_cmd_cache_warm)
+
+    p_cinfo = cache_sub.add_parser("info", help="list cached surface tables")
+    _add_cache_dir(p_cinfo)
+    p_cinfo.set_defaults(func=_cmd_cache_info)
+
+    p_cclear = cache_sub.add_parser(
+        "clear", help="delete every cached surface table"
+    )
+    _add_cache_dir(p_cclear)
+    p_cclear.set_defaults(func=_cmd_cache_clear)
 
     p_cmp = sub.add_parser("compare", help="compare strategies on one app")
     _add_common(p_cmp)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the tier-1 suite."""
+
+import pytest
+
+from repro.caching import clear_process_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_caches():
+    """Reset the process-global caching tiers after every test.
+
+    The campaign runner serves applications from a process-wide
+    :class:`repro.caching.ApplicationCache` and may attach a process-wide
+    surface cache; without this hook, state (and tmp-dir cache handles)
+    would leak from one test into the next.
+    """
+    yield
+    clear_process_caches()

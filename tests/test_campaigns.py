@@ -184,6 +184,108 @@ class TestParallelDeterminism:
         assert sorted(seen) == [(1, 4), (2, 4), (3, 4), (4, 4)]
 
 
+class TestSpawnStartMethod:
+    """The fallback path ``_pool_context`` picks on non-fork platforms."""
+
+    def test_spawn_pool_bit_identical_to_serial(self, small_grid, serial_records):
+        report = CampaignRunner(jobs=2, start_method="spawn").run(
+            small_grid.specs()
+        )
+        assert _payloads(report.records) == _payloads(serial_records)
+
+    def test_spawn_pool_with_prewarmed_cache(
+        self, small_grid, serial_records, tmp_path
+    ):
+        from repro.caching import SurfaceCache, grid_app_pairs
+
+        specs = list(small_grid.specs())
+        cache_dir = tmp_path / "surfaces"
+        SurfaceCache(cache_dir).warm(grid_app_pairs(specs))
+        report = CampaignRunner(
+            jobs=2, start_method="spawn", cache_dir=cache_dir
+        ).run(specs)
+        assert _payloads(report.records) == _payloads(serial_records)
+
+    def test_unavailable_start_method_rejected(self):
+        from repro.campaigns.runner import _pool_context
+
+        with pytest.raises(ReproError):
+            _pool_context("no-such-method")
+
+
+class TestStoreLock:
+    """Two concurrent sweeps must not interleave appends into one store."""
+
+    def test_concurrent_sweep_rejected_while_locked(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        spec = CampaignSpec(app="redis", scale="test", eval_runs=5)
+        with store.exclusive():
+            with pytest.raises(ReproError, match="locked by another"):
+                CampaignRunner(jobs=1, store=store).run([spec])
+
+    def test_lock_released_after_run(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        spec = CampaignSpec(app="redis", scale="test", eval_runs=5)
+        CampaignRunner(jobs=1, store=store).run([spec])
+        # The runner released its lock, so a new sweep acquires it cleanly.
+        report = CampaignRunner(jobs=1, store=store).run([spec])
+        assert report.skipped == 1
+
+    def test_lock_released_even_when_run_raises(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        spec = CampaignSpec(app="redis", scale="test", eval_runs=5)
+
+        def explode(k, n, r):
+            raise RuntimeError("progress callback crashed")
+
+        runner = CampaignRunner(jobs=1, store=store, progress=explode)
+        with pytest.raises(RuntimeError):
+            runner.run([spec])
+        with store.exclusive():  # acquirable again => released above
+            pass
+
+    def test_double_acquire_same_object_rejected(self, tmp_path):
+        lock = CampaignStore(tmp_path / "s.jsonl").exclusive()
+        with lock:
+            with pytest.raises(ReproError, match="already held"):
+                lock.acquire()
+
+    def test_plain_readers_are_not_blocked(self, tmp_path, serial_records):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        for record in serial_records:
+            store.append(record)
+        with store.exclusive():
+            assert len(store.records()) == len(serial_records)
+
+    def test_contention_error_names_the_holder(self, tmp_path):
+        import os
+
+        store = CampaignStore(tmp_path / "s.jsonl")
+        with store.exclusive():
+            with pytest.raises(ReproError, match=f"pid {os.getpid()}"):
+                store.exclusive().acquire()
+
+    def test_runner_writes_grid_header_inside_the_lock(
+        self, small_grid, tmp_path
+    ):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        CampaignRunner(jobs=1, store=store).run(
+            list(small_grid.specs())[:1], grid=small_grid
+        )
+        assert store.read_grid() == small_grid
+
+
+class TestSurfaceCacheDoesNotLeak:
+    def test_cacheless_run_does_not_inherit_previous_cache(self, tmp_path):
+        from repro.caching import process_surface_cache
+
+        spec = CampaignSpec(app="redis", scale="test", eval_runs=5)
+        CampaignRunner(jobs=1, cache_dir=tmp_path / "surf").run([spec])
+        # The cached run must restore the previous (absent) handle, so a
+        # later explicitly-cacheless run builds cache-free applications.
+        assert process_surface_cache() is None
+
+
 class TestStore:
     def test_round_trip(self, small_grid, serial_records, tmp_path):
         store = CampaignStore(tmp_path / "s.jsonl")
