@@ -60,12 +60,17 @@ def _payloads(records):
     return json.dumps([r.to_payload() for r in records], sort_keys=True)
 
 
-def _sweep_row(report, *, cache: str) -> dict:
+def _sweep_row(report, *, cache: str, scenario: str = "steady",
+               benchmark: str = "sweep_table1_test_2seeds") -> dict:
+    # Every sweep row names its scenario pack, so trajectory entries from
+    # dynamic-conditions sweeps are never mistaken for steady-state ones
+    # (see ROADMAP "Performance").
     return {
-        "benchmark": "sweep_table1_test_2seeds",
+        "benchmark": benchmark,
         "date": time.strftime("%Y-%m-%d"),
         "jobs": report.jobs,
         "cache": cache,
+        "scenario": scenario,
         "campaigns": report.executed,
         "wall_seconds": round(report.wall_seconds, 3),
         "campaigns_per_minute": round(report.campaigns_per_minute, 1),
@@ -142,6 +147,42 @@ def test_sweep_warm_cache_matches_cold_and_is_not_slower(tmp_path):
     assert warm_best.wall_seconds <= 1.05 * cold_best.wall_seconds, (
         f"warm-cache sweep ({warm_best.wall_seconds:.2f}s) slower than "
         f"cold ({cold_best.wall_seconds:.2f}s) beyond noise"
+    )
+
+
+@pytest.mark.benchmark
+def test_sweep_scenario_pack_throughput_and_determinism():
+    """ISSUE 4: the scenario axis must stay in the vectorised fast path.
+
+    Runs the Table-1 grid under the ``bursty`` pack, asserts a re-run is
+    bit-identical (scenario randomness is seed-deterministic), and records
+    the throughput row with its pack name so the trajectory separates
+    dynamic-conditions sweeps from steady ones.
+    """
+    from repro.campaigns import CampaignGrid
+
+    base = table1_grid(scale="test", seeds=(0, 1), eval_runs=50)
+    grid = CampaignGrid(**{**base.to_dict(), "scenarios": ("bursty",)})
+    specs = list(grid.specs())
+    assert len(specs) == 8
+    assert all(s.scenario == "bursty" for s in specs)
+
+    first = _fresh_run(1, specs)
+    again = _fresh_run(1, specs)
+    assert _payloads(first.records) == _payloads(again.records)
+
+    steady = _fresh_run(1, list(base.specs()))
+    assert _payloads(first.records) != _payloads(steady.records)
+
+    best = first if first.wall_seconds <= again.wall_seconds else again
+    _record(_sweep_row(best, cache="cold", scenario="bursty",
+                       benchmark="sweep_table1_test_2seeds_bursty"))
+
+    # The scenario overlay is a vectorised level transform: it must not
+    # meaningfully slow the sweep relative to the steady grid.
+    assert best.wall_seconds < 1.5 * steady.wall_seconds + 1.0, (
+        f"bursty-scenario sweep ({best.wall_seconds:.2f}s) blew up vs "
+        f"steady ({steady.wall_seconds:.2f}s)"
     )
 
 

@@ -3,11 +3,16 @@
 # single BENCH.jsonl perf-trajectory file in the repo root, one JSON object
 # per line.  Every entry records the machine conditions it was measured
 # under — the visible core count ("cores", ROADMAP's 1-core caveat made
-# machine-readable) and the surface-cache state ("cache": cold/warm) — so
-# trajectory rows are comparable without reading prose.  Legacy per-date
-# BENCH_<date>.json files (the pre-ISSUE-2 format) are migrated into
-# BENCH.jsonl on sight, so the trajectory never splinters across files
-# again.  Extra arguments are passed through to pytest.
+# machine-readable), the surface-cache state ("cache": cold/warm), and for
+# sweep rows the scenario pack ("scenario") — so trajectory rows are
+# comparable without reading prose.  Legacy per-date BENCH_<date>.json
+# files (the pre-ISSUE-2 format) are migrated into BENCH.jsonl on sight.
+# Extra arguments are passed through to pytest.
+#
+# Measurements are staged in a temp file and appended to BENCH.jsonl only
+# after the whole pytest run succeeds: a failing or crashing benchmark run
+# exits non-zero and appends NOTHING, so the trajectory never accumulates
+# rows from broken runs.
 #
 #   scripts/bench.sh            # run all perf benchmarks + append
 #   scripts/bench.sh -k wall    # only the tune() wall-time gate
@@ -25,7 +30,21 @@ for legacy in BENCH_*.json; do
 done
 shopt -u nullglob
 
-BENCH_JSON="$out" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+staging="$(mktemp "${TMPDIR:-/tmp}/bench.XXXXXX.jsonl")"
+cleanup() {
+    status=$?
+    rm -f "$staging"
+    if [ "$status" -ne 0 ]; then
+        echo "bench.sh: FAILED (exit $status) — benchmark run did not" \
+             "complete; nothing appended to $out" >&2
+    fi
+    exit "$status"
+}
+trap cleanup EXIT
+
+BENCH_JSON="$staging" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest benchmarks/test_perf_tournament.py \
         benchmarks/test_perf_sweep.py -q -s -m benchmark "$@"
-echo "perf trajectory appended to $out"
+
+cat "$staging" >> "$out"
+echo "perf trajectory appended to $out ($(wc -l < "$staging") row(s))"

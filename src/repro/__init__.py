@@ -44,6 +44,12 @@ from repro.cloud import (
 )
 from repro.core import ABLATION_NAMES, DarwinGame, DarwinGameConfig
 from repro.core.dynamic import DynamicFeedbackDarwinGame, FeedbackConfig
+from repro.scenarios import (
+    SCENARIO_NAMES,
+    Scenario,
+    get_scenario,
+    register_scenario,
+)
 from repro.space import Parameter, SearchSpace, partition_regions, split_subspaces
 from repro.tuners import (
     ActiveHarmonyLike,
@@ -89,6 +95,8 @@ __all__ = [
     "QuantileRegressionTuner",
     "RandomSearch",
     "ReplayedInterference",
+    "SCENARIO_NAMES",
+    "Scenario",
     "SearchSpace",
     "SurfaceCache",
     "SweepReport",
@@ -102,8 +110,10 @@ __all__ = [
     "make_gromacs",
     "make_lammps",
     "make_redis",
+    "get_scenario",
     "partition_regions",
     "record_trace",
+    "register_scenario",
     "split_subspaces",
     "summarise",
     "__version__",

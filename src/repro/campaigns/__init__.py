@@ -20,7 +20,16 @@ or from the shell: ``python -m repro sweep --apps redis,lammps --seeds 0,1,2
 --scale test --jobs 4 --store sweep.jsonl``.
 """
 
-from repro.campaigns.report import SweepRow, SweepSummary, summarise, summary_table
+from repro.campaigns.report import (
+    ScenarioRow,
+    ScenarioSummary,
+    SweepRow,
+    SweepSummary,
+    scenario_table,
+    summarise,
+    summarise_by_scenario,
+    summary_table,
+)
 from repro.campaigns.runner import (
     CampaignRunner,
     SweepReport,
@@ -38,6 +47,8 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStore",
+    "ScenarioRow",
+    "ScenarioSummary",
     "StoreLock",
     "SweepReport",
     "SweepRow",
@@ -47,6 +58,8 @@ __all__ = [
     "execute_campaign",
     "parallel_map",
     "repeat_specs",
+    "scenario_table",
     "summarise",
+    "summarise_by_scenario",
     "summary_table",
 ]

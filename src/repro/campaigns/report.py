@@ -118,6 +118,180 @@ def summarise(records: Sequence[CampaignRecord]) -> SweepSummary:
     )
 
 
+@dataclass(frozen=True)
+class ScenarioRow:
+    """Aggregate of one (scenario, strategy) cell of a sweep.
+
+    ``vs_darwin_percent`` is the robustness headline: the strategy's mean
+    execution time relative to DarwinGame *under the same scenario*,
+    averaged over (app, VM) cells so applications with very different
+    absolute times weigh equally.  Positive means slower than DarwinGame.
+    """
+
+    scenario: str
+    strategy: str
+    campaigns: int
+    failures: int
+    mean_time: float
+    cov_percent: float
+    core_hours: float
+    vs_darwin_percent: float
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """The sweep viewed along its scenario axis."""
+
+    rows: List[ScenarioRow]
+    scenarios: List[str]
+    total: int
+    done: int
+    failed: int
+
+    def row(self, scenario: str, strategy: str) -> ScenarioRow:
+        for r in self.rows:
+            if (r.scenario, r.strategy) == (scenario, strategy):
+                return r
+        raise KeyError((scenario, strategy))
+
+    def to_payload(self) -> dict:
+        """Deterministic plain-JSON form (rows sorted by cell key)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "scenarios": list(self.scenarios),
+            "rows": [asdict(r) for r in self.rows],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation used by determinism checks."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+
+def _scenario_of(record: CampaignRecord) -> str:
+    return getattr(record.spec, "scenario", "steady")
+
+
+def summarise_by_scenario(records: Sequence[CampaignRecord]) -> ScenarioSummary:
+    """Aggregate campaign records per (scenario, strategy).
+
+    The robustness view of a sweep: how does each tuner hold up as the
+    cloud's conditions change?  Per-cell gaps against DarwinGame are
+    computed within each (scenario, app, VM) cell — never across
+    applications — then averaged; the same campaign-ID sort as
+    :func:`summarise` keeps float reductions byte-reproducible regardless
+    of the store's append order.
+    """
+    groups: Dict[Tuple[str, str], List[CampaignRecord]] = {}
+    cells: Dict[Tuple[str, str, str, str], List[CampaignRecord]] = {}
+    for record in records:
+        scenario = _scenario_of(record)
+        groups.setdefault((scenario, record.spec.strategy), []).append(record)
+        cells.setdefault(
+            (
+                scenario,
+                record.spec.strategy,
+                record.spec.app,
+                vm_display_name(record.spec.vm),
+            ),
+            [],
+        ).append(record)
+
+    cell_means: Dict[Tuple[str, str, str, str], float] = {}
+    for key, members in cells.items():
+        done = [r for r in sorted(members, key=lambda r: r.campaign_id)
+                if r.ok]
+        cell_means[key] = (
+            float(np.mean([r.mean_time for r in done]))
+            if done
+            else float("nan")
+        )
+
+    rows: List[ScenarioRow] = []
+    for scenario, strategy in sorted(groups):
+        cell = sorted(groups[(scenario, strategy)], key=lambda r: r.campaign_id)
+        done = [r for r in cell if r.ok]
+        gaps = []
+        for key in sorted(cells):
+            if key[0] != scenario or key[1] != strategy:
+                continue
+            mine = cell_means[key]
+            darwin = cell_means.get(
+                (scenario, "DarwinGame", key[2], key[3]), float("nan")
+            )
+            if np.isfinite(mine) and np.isfinite(darwin) and darwin > 0:
+                gaps.append(100.0 * (mine - darwin) / darwin)
+        rows.append(
+            ScenarioRow(
+                scenario=scenario,
+                strategy=strategy,
+                campaigns=len(cell),
+                failures=len(cell) - len(done),
+                mean_time=(
+                    float(np.mean([r.mean_time for r in done]))
+                    if done
+                    else float("nan")
+                ),
+                cov_percent=(
+                    float(np.mean([r.cov_percent for r in done]))
+                    if done
+                    else float("nan")
+                ),
+                core_hours=(
+                    float(np.mean([r.core_hours for r in done]))
+                    if done
+                    else float("nan")
+                ),
+                vs_darwin_percent=(
+                    float(np.mean(gaps)) if gaps else float("nan")
+                ),
+            )
+        )
+    n_done = sum(1 for r in records if r.ok)
+    return ScenarioSummary(
+        rows=rows,
+        scenarios=sorted({scenario for scenario, _ in groups}),
+        total=len(records),
+        failed=len(records) - n_done,
+        done=n_done,
+    )
+
+
+def scenario_table(summary: ScenarioSummary, *, title: str = "by scenario") -> str:
+    """Render the robustness view with the shared table formatter."""
+    from repro.experiments.reporting import render_table
+
+    rows = [
+        (
+            r.scenario,
+            r.strategy,
+            r.campaigns,
+            r.failures,
+            r.mean_time,
+            r.cov_percent,
+            r.vs_darwin_percent,
+            r.core_hours,
+        )
+        for r in summary.rows
+    ]
+    footer = (
+        f"{summary.done}/{summary.total} campaigns done across "
+        f"{len(summary.scenarios)} scenario(s)"
+        + (f", {summary.failed} FAILED" if summary.failed else "")
+    )
+    return (
+        render_table(
+            ["scenario", "strategy", "n", "fail", "exec time (s)", "CoV %",
+             "vs DarwinGame %", "core-hours"],
+            rows,
+            title=title,
+        )
+        + "\n"
+        + footer
+    )
+
+
 def summary_table(summary: SweepSummary, *, title: str = "sweep") -> str:
     """Render a summary with the shared experiment table formatter."""
     from repro.experiments.reporting import render_table

@@ -117,6 +117,7 @@ def execute_campaign(spec: CampaignSpec) -> CampaignRecord:
             start_time=spec.start_time,
             eval_runs=spec.eval_runs,
             tuner_seed=spec.tuner_seed,
+            scenario=spec.scenario,
         )
         return CampaignRecord(
             spec=spec,

@@ -73,6 +73,9 @@ class CampaignSpec:
         tuner_seed: optional override decoupling the tuner's internal
             randomness from the environment seed (defaults to ``seed``).
         tag: free-form label carried through to the store.
+        scenario: registered scenario-pack name — the dynamic cloud
+            conditions the campaign tunes under (``"steady"`` is the
+            paper's stationary baseline).
     """
 
     app: str
@@ -84,6 +87,7 @@ class CampaignSpec:
     eval_runs: int = 100
     tuner_seed: Optional[int] = None
     tag: str = ""
+    scenario: str = "steady"
 
     @property
     def campaign_id(self) -> str:
@@ -92,11 +96,20 @@ class CampaignSpec:
         Human-readable prefix plus a hash of every field, so any change to
         the spec yields a new ID while re-enumerating the same grid in a
         different process reproduces the same IDs (the resume contract).
+        The default ``steady`` scenario is excluded from the hash — steady
+        campaigns are the pre-scenario campaigns, so stores written before
+        the scenario axis existed keep resuming under their original IDs.
         """
-        blob = json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        data = asdict(self)
+        if data.get("scenario", "steady") == "steady":
+            del data["scenario"]
+        blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha1(blob.encode("utf-8")).hexdigest()[:10]
         vm = vm_display_name(self.vm)
-        return f"{self.app}.{vm}.{self.strategy}.s{self.seed}.{digest}"
+        prefix = f"{self.app}.{vm}.{self.strategy}.s{self.seed}"
+        if self.scenario != "steady":
+            prefix += f".{self.scenario}"
+        return f"{prefix}.{digest}"
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
@@ -110,12 +123,12 @@ class CampaignSpec:
 
 @dataclass(frozen=True)
 class CampaignGrid:
-    """A declarative fleet: the cross product apps x vms x strategies x seeds.
+    """A declarative fleet: apps x vms x strategies x scenarios x seeds.
 
     Enumeration order is deterministic (apps, then vms, then strategies,
-    then seeds) but campaign outcomes are order-independent — every spec is
-    self-contained — so a runner may execute them in any order or in
-    parallel and still reproduce serial results.
+    then scenarios, then seeds) but campaign outcomes are order-independent
+    — every spec is self-contained — so a runner may execute them in any
+    order or in parallel and still reproduce serial results.
 
     The k-th seed's campaign starts ``k * start_time_step`` simulated
     seconds into the trace, mirroring the protocol's repeated-tuning setup.
@@ -129,10 +142,11 @@ class CampaignGrid:
     eval_runs: int = 100
     start_time_step: float = DEFAULT_START_TIME_STEP
     tag: str = ""
+    scenarios: Tuple[str, ...] = ("steady",)
 
     def __post_init__(self) -> None:
         # Normalise CLI-style lists so equal grids hash/compare equal.
-        for name in ("apps", "strategies", "vms", "seeds"):
+        for name in ("apps", "strategies", "vms", "seeds", "scenarios"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -141,7 +155,8 @@ class CampaignGrid:
     def size(self) -> int:
         """Number of campaigns the grid enumerates."""
         return (
-            len(self.apps) * len(self.vms) * len(self.strategies) * len(self.seeds)
+            len(self.apps) * len(self.vms) * len(self.strategies)
+            * len(self.scenarios) * len(self.seeds)
         )
 
     def specs(self) -> Iterator[CampaignSpec]:
@@ -149,17 +164,19 @@ class CampaignGrid:
         for app in self.apps:
             for vm in self.vms:
                 for strategy in self.strategies:
-                    for k, seed in enumerate(self.seeds):
-                        yield CampaignSpec(
-                            app=app,
-                            strategy=strategy,
-                            vm=vm,
-                            scale=self.scale,
-                            seed=int(seed),
-                            start_time=float(k) * self.start_time_step,
-                            eval_runs=self.eval_runs,
-                            tag=self.tag,
-                        )
+                    for scenario in self.scenarios:
+                        for k, seed in enumerate(self.seeds):
+                            yield CampaignSpec(
+                                app=app,
+                                strategy=strategy,
+                                vm=vm,
+                                scale=self.scale,
+                                seed=int(seed),
+                                start_time=float(k) * self.start_time_step,
+                                eval_runs=self.eval_runs,
+                                tag=self.tag,
+                                scenario=scenario,
+                            )
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (stored as a sweep's header line)."""

@@ -31,7 +31,9 @@ from repro.campaigns import (
     CampaignGrid,
     CampaignRunner,
     CampaignStore,
+    scenario_table,
     summarise,
+    summarise_by_scenario,
     summary_table,
 )
 from repro.cloud.vm import PRESETS
@@ -49,10 +51,11 @@ from repro.experiments import (
     run_vm_sweep,
 )
 from repro.experiments.format_power import FORMAT_NAMES
+from repro.scenarios import SCENARIO_NAMES, scenario_names
 
 _EXPERIMENTS = (
     "fig10", "fig11", "fig12", "fig15", "stability", "sensitivity",
-    "formats", "shift", "statistical",
+    "formats", "shift", "statistical", "scenarios",
 )
 #: Extra strategies selectable via ``tune``/``compare`` beyond the Fig. 10 set.
 _EXTRA_STRATEGIES = (
@@ -72,18 +75,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--vm", default="m5.8xlarge", choices=sorted(PRESETS), help="instance type"
     )
+    parser.add_argument(
+        "--scenario", default="steady", metavar="PACK",
+        help=f"dynamic-cloud scenario pack (registered: {', '.join(SCENARIO_NAMES)})",
+    )
+
+
+def _unknown_scenarios(names) -> list:
+    known = scenario_names()
+    return [n for n in names if n not in known]
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    unknown = _unknown_scenarios([args.scenario])
+    if unknown:
+        print(f"unknown scenario: {unknown[0]!r}; "
+              f"registered: {list(scenario_names())}")
+        return 2
     app = make_application(args.app, scale=args.scale)
     run = run_strategy(
-        app, args.strategy, vm=PRESETS[args.vm], seed=args.seed
+        app, args.strategy, vm=PRESETS[args.vm], seed=args.seed,
+        scenario=args.scenario,
     )
     print(render_table(
         ["metric", "value"],
         [
             ("application", app.name),
             ("search space", app.space.size),
+            ("scenario", args.scenario),
             ("strategy", run.strategy),
             ("chosen index", run.best_index),
             ("mean cloud exec time (s)", run.mean_time),
@@ -111,7 +130,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         path = save_campaign(
             result, run.evaluation, args.save,
             app_name=app.name, vm_name=args.vm,
-            notes=f"scale={args.scale} seed={args.seed}",
+            notes=f"scale={args.scale} seed={args.seed} "
+                  f"scenario={args.scenario}",
         )
         print(f"\nCampaign archived to {path}")
     return 0
@@ -170,6 +190,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown strategies: {unknown}; available: {list(known)}")
         return 2
+    scenarios = csv(args.scenarios)
+    unknown = _unknown_scenarios(scenarios)
+    if unknown:
+        print(f"unknown scenarios: {unknown}; "
+              f"registered: {list(scenario_names())}")
+        return 2
     grid = CampaignGrid(
         apps=csv(args.apps),
         strategies=strategies,
@@ -177,6 +203,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(int(s) for s in csv(args.seeds)),
         scale=args.scale,
         eval_runs=args.eval_runs,
+        scenarios=scenarios,
     )
     return _run_sweep(
         grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir
@@ -201,7 +228,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if _is_store(args.path):
         grid, records = CampaignStore(args.path).load()
-        print(summary_table(summarise(records), title=f"sweep {args.path}"))
+        if args.by_scenario:
+            print(scenario_table(
+                summarise_by_scenario(records),
+                title=f"sweep {args.path} by scenario",
+            ))
+        else:
+            print(summary_table(summarise(records), title=f"sweep {args.path}"))
         if grid is not None:
             done = {r.campaign_id for r in records if r.ok}
             pending = sum(1 for s in grid.specs() if s.campaign_id not in done)
@@ -210,6 +243,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
                       f"finish with: python -m repro resume {args.path}")
         return 0
 
+    if args.by_scenario:
+        print(f"{args.path} is a single-campaign archive; --by-scenario "
+              f"aggregates sweep stores (JSONL written by `repro sweep`)")
+        return 2
     result, evaluation, meta = load_campaign(args.path)
     rows = [
         ("application", meta.get("app", "?")),
@@ -230,6 +267,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    unknown = _unknown_scenarios([args.scenario])
+    if unknown:
+        print(f"unknown scenario: {unknown[0]!r}; "
+              f"registered: {list(scenario_names())}")
+        return 2
     strategies = tuple(s.strip() for s in args.strategies.split(","))
     known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
     unknown = [s for s in strategies if s not in known]
@@ -239,12 +281,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     app = make_application(args.app, scale=args.scale)
     rows = []
     for strategy in strategies:
-        run = run_strategy(app, strategy, vm=PRESETS[args.vm], seed=args.seed)
+        run = run_strategy(app, strategy, vm=PRESETS[args.vm], seed=args.seed,
+                           scenario=args.scenario)
         rows.append((strategy, run.mean_time, run.cov_percent, run.core_hours))
     print(render_table(
         ["strategy", "exec time (s)", "CoV %", "core-hours"],
         rows,
-        title=f"Comparison on {app.name} (scale={args.scale}, seed={args.seed})",
+        title=f"Comparison on {app.name} (scale={args.scale}, "
+              f"seed={args.seed}, scenario={args.scenario})",
     ))
     return 0
 
@@ -307,6 +351,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             ["strategy", "level shift", "exec time (s)", "degradation %"],
             rows, title="interference distribution shift",
         ))
+    elif args.name == "scenarios":
+        from repro.experiments import run_scenario_robustness
+
+        result = run_scenario_robustness(
+            scale=args.scale,
+            seeds=tuple(args.seed + k for k in range(args.repeats)),
+            jobs=args.jobs,
+        )
+        print(result.table())
     elif args.name == "statistical":
         result = run_statistical_comparison(
             scale=args.scale, repeats=args.repeats, seed=args.seed, jobs=args.jobs
@@ -414,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
         "path",
         help="campaign JSON written by tune --save, or a sweep JSONL store",
     )
+    p_report.add_argument(
+        "--by-scenario", action="store_true",
+        help="aggregate a sweep store per scenario pack (tuner robustness "
+             "under dynamic cloud conditions)",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_sweep = sub.add_parser(
@@ -432,6 +490,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--seeds", default="0", help="comma-separated environment seeds"
+    )
+    p_sweep.add_argument(
+        "--scenarios", default="steady",
+        help="comma-separated scenario packs — the dynamic-conditions sweep "
+             f"axis (registered: {', '.join(SCENARIO_NAMES)})",
     )
     p_sweep.add_argument("--scale", default="bench", help="space scale preset")
     p_sweep.add_argument(

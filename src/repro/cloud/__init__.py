@@ -7,7 +7,14 @@ from repro.cloud.colocation import (
     simulate_colocated_batch,
 )
 from repro.cloud.environment import CloudEnvironment
-from repro.cloud.fleet import FleetPoint, FleetSchedule, fleet_tradeoff, schedule_lpt
+from repro.cloud.fleet import (
+    FleetPoint,
+    FleetSchedule,
+    HostClass,
+    default_host_mix,
+    fleet_tradeoff,
+    schedule_lpt,
+)
 from repro.cloud.interference import InterferenceProcess
 from repro.cloud.traces import (
     InterferenceTrace,
@@ -24,6 +31,7 @@ __all__ = [
     "DEFAULT_VM",
     "FleetPoint",
     "FleetSchedule",
+    "HostClass",
     "InterferenceProcess",
     "InterferenceProfile",
     "InterferenceTrace",
@@ -31,6 +39,7 @@ __all__ = [
     "ReplayedInterference",
     "VMSpec",
     "contention_level",
+    "default_host_mix",
     "fleet_tradeoff",
     "make_profile",
     "record_trace",

@@ -32,6 +32,7 @@ from repro.types import ChoiceEvaluation, GameOutcome, SoloOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.apps.model import ApplicationModel
+    from repro.scenarios import ScenarioLike
 
 
 class CloudEnvironment:
@@ -44,6 +45,13 @@ class CloudEnvironment:
         start_time: initial simulated time in seconds (campaigns launched at
             different times — the paper's T1/T2/T3 — see different phases of
             the same interference realisation).
+        scenario: optional dynamic cloud conditions — a registered pack
+            name (``repro.scenarios.SCENARIO_NAMES``) or a
+            :class:`~repro.scenarios.Scenario`.  The scenario's entropy is
+            a *fourth* child of the master seed, spawned only when the
+            scenario has modifiers, so the three stationary streams are
+            untouched and ``scenario="steady"`` (or ``None``) reproduces
+            pre-scenario results bit for bit.
     """
 
     def __init__(
@@ -51,13 +59,24 @@ class CloudEnvironment:
         vm: VMSpec = DEFAULT_VM,
         seed: SeedLike = 0,
         start_time: float = 0.0,
+        scenario: "ScenarioLike" = None,
     ) -> None:
+        from repro.scenarios import resolve_scenario
+
         if start_time < 0:
             raise CloudError(f"start_time must be >= 0, got {start_time}")
         self.vm = vm
         rng = ensure_rng(seed)
         interference_rng, self._run_rng, self._eval_rng = spawn(rng, 3)
-        self.interference = InterferenceProcess(vm.interference, interference_rng)
+        self.scenario = resolve_scenario(scenario)
+        dynamics = None
+        if self.scenario is not None and not self.scenario.is_steady:
+            dynamics = self.scenario.realise(
+                int(spawn(rng, 1)[0].integers(0, 2**63))
+            )
+        self.interference = InterferenceProcess(
+            vm.interference, interference_rng, dynamics=dynamics
+        )
         self.ledger = CoreHourLedger()
         self._now = float(start_time)
 

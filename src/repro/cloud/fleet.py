@@ -24,6 +24,52 @@ from repro.errors import CloudError
 
 
 @dataclass(frozen=True)
+class HostClass:
+    """One contention class of a heterogeneous fleet.
+
+    ``level_multiplier`` scales the stationary interference level relative
+    to the reference host (the general-purpose ``m5`` operating point);
+    ``weight`` is the class's share of the fleet.
+    """
+
+    name: str
+    level_multiplier: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.level_multiplier < 0:
+            raise CloudError("level_multiplier must be >= 0")
+        if self.weight <= 0:
+            raise CloudError("host class weight must be positive")
+
+
+def default_host_mix(vcpus: int = 32) -> Tuple[HostClass, ...]:
+    """The heterogeneous fleet the ``mixed-fleet`` scenario schedules over.
+
+    Host classes are derived from the calibrated family profiles in
+    :mod:`repro.cloud.vm` at the given VM size, normalised to the
+    general-purpose host, plus an over-subscribed tail class — the
+    paper-world answer to "my fleet is not all ``m5``".
+    """
+    from repro.cloud.vm import make_profile
+
+    reference = make_profile(vcpus, "general").mean_level
+    classes = [
+        HostClass(
+            name=family,
+            level_multiplier=make_profile(vcpus, family).mean_level / reference,
+            weight=weight,
+        )
+        for family, weight in (
+            ("compute", 0.25), ("general", 0.4), ("memory", 0.15),
+            ("storage", 0.1),
+        )
+    ]
+    classes.append(HostClass("oversubscribed", 1.8, 0.1))
+    return tuple(classes)
+
+
+@dataclass(frozen=True)
 class FleetSchedule:
     """An assignment of game durations to a fleet of identical VMs."""
 

@@ -31,7 +31,12 @@ from repro.rng import SeedLike, child, ensure_rng
 
 _DAY_SECONDS = 86400.0
 _BUCKET_SECONDS = 3600.0
-_MIN_LEVEL = 0.01
+
+#: Floor of the interference level.  Shared with the scenario modifiers
+#: (``repro.scenarios``), which clamp to the same floor after their
+#: transforms — one constant, one physics.
+MIN_LEVEL = 0.01
+_MIN_LEVEL = MIN_LEVEL
 
 
 def ar1_scan(rho: float, state: float, innovations: np.ndarray) -> np.ndarray:
@@ -74,10 +79,24 @@ def ar1_scan(rho: float, state: float, innovations: np.ndarray) -> np.ndarray:
 
 
 class InterferenceProcess:
-    """Seeded realisation of one host's interference over simulated time."""
+    """Seeded realisation of one host's interference over simulated time.
 
-    def __init__(self, profile: InterferenceProfile, seed: SeedLike = None) -> None:
+    ``dynamics`` (a realised :class:`repro.scenarios.ScenarioDynamics`)
+    overlays time-varying scenario conditions on the stationary slow
+    component.  It transforms the deterministic level field only — it never
+    consumes from this process's random streams — so a process without
+    dynamics (or with the empty ``steady`` scenario) is bit-identical to
+    the pre-scenario behaviour.
+    """
+
+    def __init__(
+        self,
+        profile: InterferenceProfile,
+        seed: SeedLike = None,
+        dynamics=None,
+    ) -> None:
         self.profile = profile
+        self.dynamics = dynamics
         rng = ensure_rng(seed)
         self._walk_rng = child(rng)
         self._phase = float(ensure_rng(child(rng)).uniform(0.0, 2.0 * math.pi))
@@ -116,7 +135,13 @@ class InterferenceProcess:
             2.0 * math.pi * ts / _DAY_SECONDS + self._phase
         )
         level = self.profile.mean_level + diurnal + self._walk[buckets]
-        return np.maximum(level, _MIN_LEVEL)
+        level = np.maximum(level, _MIN_LEVEL)
+        if self.dynamics is not None:
+            # Scenario overlay: vectorised, deterministic given the
+            # environment seed, and the single hook every sampling path
+            # (solo means, batched trajectories, evaluations) flows through.
+            level = self.dynamics.apply(ts, level)
+        return level
 
     # -- solo-run sampling ------------------------------------------------
 

@@ -49,6 +49,11 @@ from repro.experiments.protocol import (
     run_strategy,
 )
 from repro.experiments.reporting import paper_vs_measured, render_table
+from repro.experiments.scenario_robustness import (
+    DEFAULT_SCENARIOS,
+    ScenarioRobustnessResult,
+    run_scenario_robustness,
+)
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
 from repro.experiments.shift_study import (
     ShiftRow,
@@ -67,6 +72,7 @@ from repro.experiments.vm_sweep import FIG15_VMS, VMSweepResult, run_vm_sweep
 __all__ = [
     "AblationResult",
     "ColocationStudyResult",
+    "DEFAULT_SCENARIOS",
     "FIG15_VMS",
     "FORMAT_NAMES",
     "FormatPowerResult",
@@ -80,6 +86,7 @@ __all__ = [
     "IntegrationResult",
     "STATISTICAL_STRATEGIES",
     "STRATEGY_NAMES",
+    "ScenarioRobustnessResult",
     "SensitivityResult",
     "ShiftRow",
     "ShiftStudyResult",
@@ -112,6 +119,7 @@ __all__ = [
     "run_fig3",
     "run_headline",
     "run_integration",
+    "run_scenario_robustness",
     "run_sensitivity",
     "run_shift_study",
     "run_stability",

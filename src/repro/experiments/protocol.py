@@ -103,6 +103,7 @@ def run_strategy(
     eval_runs: int = 100,
     darwin_config: Optional[DarwinGameConfig] = None,
     tuner_seed: Optional[int] = None,
+    scenario=None,
 ) -> StrategyRun:
     """Tune once with ``strategy`` and evaluate the chosen configuration.
 
@@ -115,8 +116,14 @@ def run_strategy(
     environment's noise realisation (``seed``); by default both derive from
     ``seed``.  The stability experiment fixes the tuner seed and varies only
     the environment — "the same tool, run at different times in the cloud".
+
+    ``scenario`` (a registered pack name or a :class:`repro.scenarios.
+    Scenario`) overlays dynamic cloud conditions on the environment; both
+    tuning *and* the post-hoc evaluation run under them.  The oracle is
+    unaffected — its dedicated environment has no interference to modify.
     """
-    env = CloudEnvironment(vm, seed=seed, start_time=start_time)
+    env = CloudEnvironment(vm, seed=seed, start_time=start_time,
+                           scenario=scenario)
     if tuner_seed is None:
         tuner_seed = seed
     if strategy == "Optimal":

@@ -1,0 +1,320 @@
+"""Time-varying modifiers that turn a stationary cloud into a dynamic one.
+
+The paper's :class:`~repro.cloud.interference.InterferenceProcess` is
+*stationary*: its statistics never change over a campaign.  A scenario
+modifier is a declarative, serialisable transform of the interference
+*level field* — given query times ``t`` and the stationary levels at those
+times, it returns the levels a dynamic cloud would exhibit.  Modifiers are
+applied inside :meth:`InterferenceProcess.epoch_mean`, the single choke
+point every sampling path (solo runs, batched co-located rounds, post-hoc
+evaluations) already goes through vectorised, so dynamic conditions cost no
+per-segment Python loops and compose transparently with the PR 1 batched
+round engine.
+
+Two determinism contracts every modifier obeys:
+
+* **seed-determinism** — a modifier's randomness derives exclusively from
+  the ``(entropy, scenario digest, modifier index)`` key it is realised
+  with, never from the process's own sampling streams.  The same
+  environment seed therefore reproduces the same dynamic conditions, and a
+  scenario's *presence* never perturbs the stationary draws (the ``steady``
+  scenario is bit-identical to no scenario at all).
+* **query-order independence** — windowed randomness (storms, preemptions,
+  host churn) is drawn in absolutely-aligned blocks keyed by window index
+  (the same contract as the interference walk table), so which query times
+  arrive first never changes a window's draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.cloud.interference import MIN_LEVEL
+from repro.errors import CloudError
+
+_DAY_SECONDS = 86400.0
+
+
+class _WindowTable:
+    """Lazily-extended per-window random rows, independent of query order.
+
+    Rows for window ``w`` are drawn from a fresh generator seeded by
+    ``(*key, w // block)`` — block boundaries are absolute, so a query at
+    hour 900 before one at hour 3 realises exactly the same draws as the
+    opposite order.  Each block draw is one vectorised call.
+    """
+
+    _BLOCK = 1024
+
+    def __init__(self, key: Sequence[int], columns: int, sampler) -> None:
+        self._key = tuple(int(k) & 0x7FFFFFFFFFFFFFFF for k in key)
+        self._columns = int(columns)
+        self._sampler = sampler  # (rng, n) -> array of shape (n, columns)
+        self._blocks: Dict[int, np.ndarray] = {}
+
+    def rows(self, windows: np.ndarray) -> np.ndarray:
+        """Random rows for each window index; shape ``(len(windows), columns)``."""
+        win = np.asarray(windows, dtype=np.int64)
+        if np.any(win < 0):
+            raise CloudError("scenario window queried at negative time")
+        out = np.empty((win.size, self._columns))
+        blocks = win // self._BLOCK
+        for block in np.unique(blocks):
+            b = int(block)
+            if b not in self._blocks:
+                rng = np.random.default_rng((*self._key, b))
+                drawn = np.asarray(self._sampler(rng, self._BLOCK), dtype=float)
+                self._blocks[b] = drawn.reshape(self._BLOCK, self._columns)
+            mask = blocks == block
+            out[mask] = self._blocks[b][win[mask] - b * self._BLOCK]
+        return out
+
+
+@dataclass(frozen=True)
+class Modifier:
+    """Base of all scenario modifiers: a serialisable level transform.
+
+    Subclasses define ``KIND`` (the serialisation tag) and ``realise``,
+    which binds the declarative parameters to an entropy key and returns a
+    stateful applier with ``apply(ts, level) -> level``.
+    """
+
+    KIND = ""
+
+    def to_dict(self) -> dict:
+        """Tagged plain-JSON form (inverse of :func:`modifier_from_dict`)."""
+        return {"kind": self.KIND, **asdict(self)}
+
+    def realise(self, key: Sequence[int]):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ExtraDiurnal(Modifier):
+    """A stronger day/night load cycle layered over the built-in one.
+
+    Models a fleet whose co-tenants are strongly diurnal (interactive
+    traffic): campaigns started at different times of day tune under
+    visibly different interference regimes.
+    """
+
+    amplitude: float = 0.35
+    period_seconds: float = _DAY_SECONDS
+    phase: float = 0.0
+
+    KIND = "extra_diurnal"
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise CloudError(f"amplitude must be >= 0, got {self.amplitude}")
+        if self.period_seconds <= 0:
+            raise CloudError("period_seconds must be positive")
+
+    def realise(self, key: Sequence[int]):
+        omega = 2.0 * math.pi / self.period_seconds
+
+        def apply(ts: np.ndarray, level: np.ndarray) -> np.ndarray:
+            return level + self.amplitude * np.sin(omega * ts + self.phase)
+
+        return apply
+
+
+@dataclass(frozen=True)
+class LevelRamp(Modifier):
+    """Drifting baseline: interference ramps by ``rate_per_day``, saturating.
+
+    Models gradual tenant build-up (or decay, with a negative rate) on the
+    host over the days a long campaign spans; the saturation bound keeps
+    arbitrarily long campaigns physical.
+    """
+
+    rate_per_day: float = 0.18
+    saturation: float = 0.6
+
+    KIND = "level_ramp"
+
+    def __post_init__(self) -> None:
+        if self.saturation < 0:
+            raise CloudError(f"saturation must be >= 0, got {self.saturation}")
+
+    def realise(self, key: Sequence[int]):
+        def apply(ts: np.ndarray, level: np.ndarray) -> np.ndarray:
+            drift = np.clip(
+                self.rate_per_day * ts / _DAY_SECONDS,
+                -self.saturation,
+                self.saturation,
+            )
+            return level + drift
+
+        return apply
+
+
+@dataclass(frozen=True)
+class BurstStorms(Modifier):
+    """Noisy-neighbour storms: windows where contention multiplies.
+
+    Each ``window_seconds`` window independently hosts a storm with
+    probability ``storm_probability``; inside a storm the stationary level
+    is scaled by ``gain`` and raised by an exponentially-distributed spike
+    of mean ``extra_level`` (drawn once per storm — one angry co-tenant, not
+    per-query noise).
+    """
+
+    window_seconds: float = 1800.0
+    storm_probability: float = 0.25
+    gain: float = 1.6
+    extra_level: float = 0.5
+
+    KIND = "burst_storms"
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise CloudError("window_seconds must be positive")
+        if not 0.0 <= self.storm_probability <= 1.0:
+            raise CloudError("storm_probability must lie in [0, 1]")
+        if self.gain < 0 or self.extra_level < 0:
+            raise CloudError("gain and extra_level must be >= 0")
+
+    def realise(self, key: Sequence[int]):
+        def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+            hit = rng.random(n) < self.storm_probability
+            spike = rng.exponential(1.0, size=n)
+            return np.column_stack([hit.astype(float), spike])
+
+        table = _WindowTable(key, 2, sample)
+
+        def apply(ts: np.ndarray, level: np.ndarray) -> np.ndarray:
+            rows = table.rows((ts / self.window_seconds).astype(np.int64))
+            storm = rows[:, 0]
+            spike = rows[:, 1]
+            gain = 1.0 + (self.gain - 1.0) * storm
+            return level * gain + self.extra_level * spike * storm
+
+        return apply
+
+
+@dataclass(frozen=True)
+class PreemptionWindows(Modifier):
+    """Spot-style preemptions: outages that invalidate in-flight work.
+
+    Each ``window_seconds`` window is preempted with probability
+    ``preempt_probability``; the outage occupies ``outage_seconds`` at a
+    uniformly-drawn offset within the window.  During an outage the level
+    jumps by ``stall_level`` — tens of times the stationary mean — so any
+    run or game segment overlapping it makes essentially no progress: its
+    observed time balloons and, in a co-located game, the tournament's
+    early-termination sees the stalled work, exactly the "evaluation lost
+    to a revoked instance" effect.
+    """
+
+    window_seconds: float = 7200.0
+    preempt_probability: float = 0.2
+    outage_seconds: float = 900.0
+    stall_level: float = 25.0
+
+    KIND = "preemption_windows"
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0 or self.outage_seconds <= 0:
+            raise CloudError("window_seconds and outage_seconds must be positive")
+        if self.outage_seconds > self.window_seconds:
+            raise CloudError("outage_seconds cannot exceed window_seconds")
+        if not 0.0 <= self.preempt_probability <= 1.0:
+            raise CloudError("preempt_probability must lie in [0, 1]")
+        if self.stall_level < 0:
+            raise CloudError(f"stall_level must be >= 0, got {self.stall_level}")
+
+    def realise(self, key: Sequence[int]):
+        def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+            hit = rng.random(n) < self.preempt_probability
+            offset = rng.random(n)  # outage start, as a fraction of the slack
+            return np.column_stack([hit.astype(float), offset])
+
+        table = _WindowTable(key, 2, sample)
+        slack = self.window_seconds - self.outage_seconds
+
+        def apply(ts: np.ndarray, level: np.ndarray) -> np.ndarray:
+            windows = (ts / self.window_seconds).astype(np.int64)
+            rows = table.rows(windows)
+            phase = ts - windows * self.window_seconds
+            start = rows[:, 1] * slack
+            stalled = (
+                (rows[:, 0] > 0.0)
+                & (phase >= start)
+                & (phase < start + self.outage_seconds)
+            )
+            return level + self.stall_level * stalled
+
+        return apply
+
+
+@dataclass(frozen=True)
+class HostMix(Modifier):
+    """Heterogeneous fleet: runs land on hosts of different contention classes.
+
+    ``multipliers``/``weights`` describe the fleet's host classes (see
+    :func:`repro.cloud.fleet.default_host_mix`); every ``rotation_seconds``
+    the VM is rescheduled onto a host class drawn from that mix, scaling
+    the stationary level by the class's multiplier until the next rotation.
+    """
+
+    multipliers: Tuple[float, ...] = (0.7, 1.0, 1.5)
+    weights: Tuple[float, ...] = (0.25, 0.5, 0.25)
+    rotation_seconds: float = 21600.0
+
+    KIND = "host_mix"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "multipliers", tuple(self.multipliers))
+        object.__setattr__(self, "weights", tuple(self.weights))
+        if len(self.multipliers) != len(self.weights) or not self.multipliers:
+            raise CloudError("host mix needs matching, non-empty classes")
+        if any(m < 0 for m in self.multipliers):
+            raise CloudError("host multipliers must be >= 0")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise CloudError("host weights must be >= 0 and sum positive")
+        if self.rotation_seconds <= 0:
+            raise CloudError("rotation_seconds must be positive")
+
+    def realise(self, key: Sequence[int]):
+        cumulative = np.cumsum(self.weights) / float(sum(self.weights))
+        multipliers = np.asarray(self.multipliers, dtype=float)
+
+        def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+            choice = np.searchsorted(cumulative, rng.random(n), side="right")
+            choice = np.minimum(choice, multipliers.size - 1)
+            return multipliers[choice].reshape(n, 1)
+
+        table = _WindowTable(key, 1, sample)
+
+        def apply(ts: np.ndarray, level: np.ndarray) -> np.ndarray:
+            rows = table.rows((ts / self.rotation_seconds).astype(np.int64))
+            return level * rows[:, 0]
+
+        return apply
+
+
+#: Serialisation registry: kind tag -> modifier class.
+MODIFIER_KINDS: Dict[str, Type[Modifier]] = {
+    cls.KIND: cls
+    for cls in (ExtraDiurnal, LevelRamp, BurstStorms, PreemptionWindows, HostMix)
+}
+
+
+def modifier_from_dict(data: dict) -> Modifier:
+    """Rebuild a modifier written by :meth:`Modifier.to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    try:
+        cls = MODIFIER_KINDS[kind]
+    except KeyError:
+        raise CloudError(
+            f"unknown scenario modifier kind {kind!r}; "
+            f"expected one of {sorted(MODIFIER_KINDS)}"
+        ) from None
+    # JSON turns tuples into lists; dataclass __post_init__ re-normalises.
+    return cls(**payload)

@@ -1,0 +1,112 @@
+"""Declarative scenarios: named, hashable bundles of dynamic cloud conditions.
+
+A :class:`Scenario` is a pure value — a name, a prose description, and an
+ordered tuple of :class:`~repro.scenarios.modifiers.Modifier` transforms.
+Like a :class:`~repro.campaigns.spec.CampaignSpec` it serialises to plain
+JSON and hashes by content, which is what makes "what conditions did we run
+under" a first-class sweep dimension instead of code: the scenario *name*
+rides in every campaign spec (and therefore its campaign ID), the scenario
+*content* is pinned by :meth:`Scenario.content_hash`.
+
+Realisation binds a scenario to one environment's entropy and yields a
+:class:`ScenarioDynamics` — the stateful, vectorised level transform the
+:class:`~repro.cloud.interference.InterferenceProcess` applies.  A scenario
+with no modifiers realises to nothing, so ``steady`` is bit-identical to
+running without any scenario at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CloudError
+from repro.scenarios.modifiers import MIN_LEVEL, Modifier, modifier_from_dict
+
+
+class ScenarioDynamics:
+    """One realisation of a scenario's modifiers for one environment.
+
+    Owns the per-modifier appliers (and their lazily-extended window
+    tables); :meth:`apply` is the single vectorised hook
+    :meth:`InterferenceProcess.epoch_mean` calls.
+    """
+
+    def __init__(self, scenario: "Scenario", entropy: int) -> None:
+        self.scenario = scenario
+        digest = int(scenario.content_hash()[:15], 16)
+        self._appliers = [
+            modifier.realise((int(entropy), digest, index))
+            for index, modifier in enumerate(scenario.modifiers)
+        ]
+
+    def apply(self, ts: np.ndarray, level: np.ndarray) -> np.ndarray:
+        """Transform stationary levels at times ``ts`` into dynamic ones."""
+        for applier in self._appliers:
+            level = applier(ts, level)
+        return np.maximum(level, MIN_LEVEL)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named composition of dynamic cloud conditions.
+
+    Attributes:
+        name: registry name; the value of a campaign spec's ``scenario``
+            field, so it participates in the campaign content hash.
+        description: one line of prose for tables and ``--help``.
+        modifiers: ordered transforms applied to the interference level
+            field (order matters — gains compose multiplicatively).
+    """
+
+    name: str
+    description: str = ""
+    modifiers: Tuple[Modifier, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CloudError("a scenario needs a non-empty name")
+        object.__setattr__(self, "modifiers", tuple(self.modifiers))
+
+    @property
+    def is_steady(self) -> bool:
+        """True when the scenario leaves the stationary process untouched."""
+        return not self.modifiers
+
+    def content_hash(self) -> str:
+        """sha1 over the scenario's physics (name and prose excluded)."""
+        blob = json.dumps(
+            [m.to_dict() for m in self.modifiers],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+    def realise(self, entropy: int) -> Optional[ScenarioDynamics]:
+        """Bind to one environment's entropy; ``None`` when steady."""
+        if self.is_steady:
+            return None
+        return ScenarioDynamics(self, int(entropy))
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "modifiers": [m.to_dict() for m in self.modifiers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario written by :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            modifiers=tuple(
+                modifier_from_dict(m) for m in data.get("modifiers", ())
+            ),
+        )

@@ -84,6 +84,91 @@ class TestSweepCli:
         assert "m5" in capsys.readouterr().out
 
 
+class TestScenarioCli:
+    def test_sweep_with_scenarios_axis(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        args = _sweep_args(store) + ["--scenarios", "steady,bursty"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4/4 campaigns done" in out
+
+    def test_sweep_rejects_unknown_scenario(self, tmp_path, capsys):
+        args = _sweep_args(tmp_path / "s.jsonl") + ["--scenarios", "tsunami"]
+        assert main(args) == 2
+        assert "unknown scenarios" in capsys.readouterr().out
+
+    def test_steady_rows_byte_identical_to_scenarioless_sweep(self, tmp_path):
+        import json
+
+        plain = tmp_path / "plain.jsonl"
+        mixed = tmp_path / "mixed.jsonl"
+        assert main(_sweep_args(plain)) == 0
+        assert main(
+            _sweep_args(mixed, jobs="2") + ["--scenarios", "steady,bursty"]
+        ) == 0
+
+        def records(path, scenario):
+            return sorted(
+                line for line in path.read_text().splitlines()
+                if json.loads(line).get("kind") == "campaign_record"
+                and json.loads(line)["spec"]["scenario"] == scenario
+            )
+
+        assert records(plain, "steady") == records(mixed, "steady")
+        assert len(records(mixed, "bursty")) == 2
+
+    def test_resume_finishes_interrupted_scenario_sweep(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        assert main(
+            _sweep_args(store) + ["--scenarios", "steady,preemptible"]
+        ) == 0
+        full = store.read_text()
+        # Interrupt: drop the last finished campaign, then resume.
+        store.write_text("".join(full.splitlines(keepends=True)[:-1]))
+        capsys.readouterr()
+        assert main(["resume", str(store), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 1, skipped 3" in out
+        # The re-run campaign reproduces the dropped record byte for byte.
+        assert sorted(store.read_text().splitlines()) \
+            == sorted(full.splitlines())
+
+    def test_report_by_scenario(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        main(_sweep_args(store) + ["--scenarios", "steady,drift"])
+        capsys.readouterr()
+        assert main(["report", str(store), "--by-scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out and "drift" in out and "steady" in out
+        assert "vs DarwinGame %" in out
+
+    def test_report_by_scenario_rejects_single_campaign_archive(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "one.json"
+        main([
+            "tune", "--app", "redis", "--scale", "test", "--seed", "1",
+            "--save", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["report", str(path), "--by-scenario"]) == 2
+        assert "sweep stores" in capsys.readouterr().out
+
+    def test_tune_accepts_scenario(self, capsys):
+        assert main([
+            "tune", "--app", "redis", "--scale", "test", "--seed", "1",
+            "--scenario", "bursty",
+        ]) == 0
+        assert "bursty" in capsys.readouterr().out
+
+    def test_tune_rejects_unknown_scenario(self, capsys):
+        assert main([
+            "tune", "--app", "redis", "--scale", "test",
+            "--scenario", "tsunami",
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+
 class TestCacheCli:
     def _dir(self, tmp_path):
         return str(tmp_path / "surfaces")
