@@ -61,16 +61,18 @@ def _payloads(records):
 
 
 def _sweep_row(report, *, cache: str, scenario: str = "steady",
+               fmt: str = "darwin",
                benchmark: str = "sweep_table1_test_2seeds") -> dict:
-    # Every sweep row names its scenario pack, so trajectory entries from
-    # dynamic-conditions sweeps are never mistaken for steady-state ones
-    # (see ROADMAP "Performance").
+    # Every sweep row names its scenario pack and tournament format, so
+    # trajectory entries from dynamic-conditions or alternate-shape sweeps
+    # are never mistaken for the baseline grid (see ROADMAP "Performance").
     return {
         "benchmark": benchmark,
         "date": time.strftime("%Y-%m-%d"),
         "jobs": report.jobs,
         "cache": cache,
         "scenario": scenario,
+        "format": fmt,
         "campaigns": report.executed,
         "wall_seconds": round(report.wall_seconds, 3),
         "campaigns_per_minute": round(report.campaigns_per_minute, 1),
@@ -183,6 +185,43 @@ def test_sweep_scenario_pack_throughput_and_determinism():
     assert best.wall_seconds < 1.5 * steady.wall_seconds + 1.0, (
         f"bursty-scenario sweep ({best.wall_seconds:.2f}s) blew up vs "
         f"steady ({steady.wall_seconds:.2f}s)"
+    )
+
+
+@pytest.mark.benchmark
+def test_sweep_format_grid_throughput_and_determinism():
+    """ISSUE 5: the format axis must stay in the batched fast path.
+
+    Runs the Table-1 grid under the ``knockout`` tournament shape, asserts
+    a re-run is bit-identical (the scheduler/executor engine is
+    seed-deterministic under every recipe), and records the throughput row
+    with its format name so alternate-shape sweeps are never compared
+    against default-shape rows.
+    """
+    from repro.campaigns import CampaignGrid
+
+    base = table1_grid(scale="test", seeds=(0, 1), eval_runs=50)
+    grid = CampaignGrid(**{**base.to_dict(), "formats": ("knockout",)})
+    specs = list(grid.specs())
+    assert len(specs) == 8
+    assert all(s.format == "knockout" for s in specs)
+
+    first = _fresh_run(1, specs)
+    again = _fresh_run(1, specs)
+    assert _payloads(first.records) == _payloads(again.records)
+
+    default = _fresh_run(1, list(base.specs()))
+    assert _payloads(first.records) != _payloads(default.records)
+
+    best = first if first.wall_seconds <= again.wall_seconds else again
+    _record(_sweep_row(best, cache="cold", fmt="knockout",
+                       benchmark="sweep_table1_test_2seeds_knockout"))
+
+    # An alternate shape only swaps which scheduler emits the (few) playoff
+    # rounds — it must not meaningfully slow the sweep.
+    assert best.wall_seconds < 1.5 * default.wall_seconds + 1.0, (
+        f"knockout-format sweep ({best.wall_seconds:.2f}s) blew up vs "
+        f"darwin ({default.wall_seconds:.2f}s)"
     )
 
 

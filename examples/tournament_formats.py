@@ -1,18 +1,17 @@
 #!/usr/bin/env python
-"""Why DarwinGame's phases use the formats they use.
+"""Why DarwinGame's phases use the formats they use — and how to swap them.
 
-Plays the clean-room tournament formats of :mod:`repro.formats` over a
-field of synthetic players whose strengths are observed through noise — the
-abstraction of DarwinGame's situation, where a game's execution scores are
-the configurations' speeds seen through interference.  Reports each
-format's *predictive power* (how often the true strongest player wins) and
-cost in games, the trade-off behind the paper's phase design:
+Part 1 plays the :mod:`repro.formats` schedulers over a field of synthetic
+players whose strengths are observed through noise — the abstraction of
+DarwinGame's situation, where a game's execution scores are the
+configurations' speeds seen through interference.  Reports each format's
+*predictive power* (how often the true strongest player wins) and cost in
+games, the trade-off behind the paper's phase design.
 
-* Swiss for the regional phase — near round-robin accuracy at a fraction
-  of the games;
-* double elimination for the global phase — protects strong players from
-  "one bad day";
-* cheap knockouts only at the very end, when two finalists remain.
+Part 2 then runs the *real* tuner under alternate tournament shapes: since
+the scheduler/executor refactor, the exact state machines measured in
+part 1 are what `DarwinGame` plays, and the shape is a config knob
+(`tournament_format`) and a sweep axis (`--formats`).
 
 Run with::
 
@@ -20,10 +19,15 @@ Run with::
 """
 
 from repro.analysis.textplots import hbar_chart
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.core.config import DarwinGameConfig
+from repro.core.tournament import DarwinGame
 from repro.experiments.format_power import FORMAT_NAMES, run_format_power
+from repro.formats import tournament_format, tournament_format_names
 
 
-def main() -> None:
+def format_power_study() -> None:
     print("Simulating 16-player tournaments, 300 trials per (format, noise)...")
     result = run_format_power(
         n_players=16,
@@ -48,12 +52,35 @@ def main() -> None:
         width=40,
     ))
 
+
+def real_tuner_under_each_shape() -> None:
+    print(
+        "\nThe same schedulers drive the real tuner; the tournament shape"
+        "\nis the `tournament_format` recipe (sweepable via --formats):\n"
+    )
+    app = make_application("redis", scale="test")
+    print(f"{'format':<22} {'picked':>6} {'playoff games':>13} "
+          f"{'core-hours':>10}   recipe")
+    for name in tournament_format_names():
+        env = CloudEnvironment(seed=7)
+        cfg = DarwinGameConfig(seed=1, tournament_format=name)
+        result = DarwinGame(cfg).tune(app, env)
+        games = result.details["playoffs"].get("games", 0)
+        print(f"{name:<22} {result.best_index:>6} {games:>13} "
+              f"{result.core_hours:>10.1f}   "
+              f"{tournament_format(name).description}")
+
+
+def main() -> None:
+    format_power_study()
+    real_tuner_under_each_shape()
     print(
         "\nReading: double elimination buys a consistent accuracy premium over"
         "\nsingle elimination for 2x the games; Swiss approaches round-robin"
-        "\naccuracy at ~25% of its cost — which is why DarwinGame screens the"
-        "\nhuge regional fields with Swiss play and reserves bracket play for"
-        "\nthe small global field."
+        "\naccuracy at ~25% of its cost — which is why the default `darwin`"
+        "\nrecipe screens the huge regional fields with Swiss play and reserves"
+        "\nbracket play for the small global field.  Alternate recipes trade"
+        "\nplayoff cost against how carefully the finalists are chosen."
     )
 
 

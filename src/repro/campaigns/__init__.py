@@ -21,12 +21,16 @@ or from the shell: ``python -m repro sweep --apps redis,lammps --seeds 0,1,2
 """
 
 from repro.campaigns.report import (
+    FormatRow,
+    FormatSummary,
     ScenarioRow,
     ScenarioSummary,
     SweepRow,
     SweepSummary,
+    format_table,
     scenario_table,
     summarise,
+    summarise_by_format,
     summarise_by_scenario,
     summary_table,
 )
@@ -47,6 +51,8 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStore",
+    "FormatRow",
+    "FormatSummary",
     "ScenarioRow",
     "ScenarioSummary",
     "StoreLock",
@@ -56,10 +62,12 @@ __all__ = [
     "cached_application",
     "default_jobs",
     "execute_campaign",
+    "format_table",
     "parallel_map",
     "repeat_specs",
     "scenario_table",
     "summarise",
+    "summarise_by_format",
     "summarise_by_scenario",
     "summary_table",
 ]

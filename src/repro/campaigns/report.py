@@ -173,32 +173,31 @@ def _scenario_of(record: CampaignRecord) -> str:
     return getattr(record.spec, "scenario", "steady")
 
 
-def summarise_by_scenario(records: Sequence[CampaignRecord]) -> ScenarioSummary:
-    """Aggregate campaign records per (scenario, strategy).
+def _axis_rows(
+    records: Sequence[CampaignRecord],
+    *,
+    axis_of,
+    cell_key_of,
+    reference_cell,
+) -> Tuple[List[dict], List[str], int]:
+    """The shared per-axis aggregation behind the scenario and format views.
 
-    The robustness view of a sweep: how does each tuner hold up as the
-    cloud's conditions change?  Per-cell gaps against DarwinGame are
-    computed within each (scenario, app, VM) cell — never across
-    applications — then averaged; the same campaign-ID sort as
-    :func:`summarise` keeps float reductions byte-reproducible regardless
-    of the store's append order.
+    Groups records per (axis value, strategy), and computes each group's
+    metric means plus its mean per-cell gap against a reference cell
+    (``reference_cell(cell_key)`` — e.g. the same cell under DarwinGame, or
+    under the ``darwin`` format).  Gaps are computed within matching cells
+    — never across applications — and records inside every cell are sorted
+    by campaign ID before reducing, so the same campaigns summarise to the
+    same bytes regardless of the store's (parallel) append order.
     """
     groups: Dict[Tuple[str, str], List[CampaignRecord]] = {}
-    cells: Dict[Tuple[str, str, str, str], List[CampaignRecord]] = {}
+    cells: Dict[tuple, List[CampaignRecord]] = {}
     for record in records:
-        scenario = _scenario_of(record)
-        groups.setdefault((scenario, record.spec.strategy), []).append(record)
-        cells.setdefault(
-            (
-                scenario,
-                record.spec.strategy,
-                record.spec.app,
-                vm_display_name(record.spec.vm),
-            ),
-            [],
-        ).append(record)
+        axis = axis_of(record)
+        groups.setdefault((axis, record.spec.strategy), []).append(record)
+        cells.setdefault(cell_key_of(record, axis), []).append(record)
 
-    cell_means: Dict[Tuple[str, str, str, str], float] = {}
+    cell_means: Dict[tuple, float] = {}
     for key, members in cells.items():
         done = [r for r in sorted(members, key=lambda r: r.campaign_id)
                 if r.ok]
@@ -208,53 +207,207 @@ def summarise_by_scenario(records: Sequence[CampaignRecord]) -> ScenarioSummary:
             else float("nan")
         )
 
-    rows: List[ScenarioRow] = []
-    for scenario, strategy in sorted(groups):
-        cell = sorted(groups[(scenario, strategy)], key=lambda r: r.campaign_id)
+    def mean_of(metric, done):
+        return (
+            float(np.mean([getattr(r, metric) for r in done]))
+            if done else float("nan")
+        )
+
+    rows: List[dict] = []
+    for axis, strategy in sorted(groups):
+        cell = sorted(groups[(axis, strategy)], key=lambda r: r.campaign_id)
         done = [r for r in cell if r.ok]
         gaps = []
         for key in sorted(cells):
-            if key[0] != scenario or key[1] != strategy:
+            if key[0] != axis or key[1] != strategy:
                 continue
             mine = cell_means[key]
-            darwin = cell_means.get(
-                (scenario, "DarwinGame", key[2], key[3]), float("nan")
-            )
-            if np.isfinite(mine) and np.isfinite(darwin) and darwin > 0:
-                gaps.append(100.0 * (mine - darwin) / darwin)
-        rows.append(
-            ScenarioRow(
-                scenario=scenario,
-                strategy=strategy,
-                campaigns=len(cell),
-                failures=len(cell) - len(done),
-                mean_time=(
-                    float(np.mean([r.mean_time for r in done]))
-                    if done
-                    else float("nan")
-                ),
-                cov_percent=(
-                    float(np.mean([r.cov_percent for r in done]))
-                    if done
-                    else float("nan")
-                ),
-                core_hours=(
-                    float(np.mean([r.core_hours for r in done]))
-                    if done
-                    else float("nan")
-                ),
-                vs_darwin_percent=(
-                    float(np.mean(gaps)) if gaps else float("nan")
-                ),
-            )
-        )
-    n_done = sum(1 for r in records if r.ok)
+            reference = cell_means.get(reference_cell(key), float("nan"))
+            if np.isfinite(mine) and np.isfinite(reference) and reference > 0:
+                gaps.append(100.0 * (mine - reference) / reference)
+        rows.append({
+            "axis": axis,
+            "strategy": strategy,
+            "campaigns": len(cell),
+            "failures": len(cell) - len(done),
+            "mean_time": mean_of("mean_time", done),
+            "cov_percent": mean_of("cov_percent", done),
+            "core_hours": mean_of("core_hours", done),
+            "gap_percent": float(np.mean(gaps)) if gaps else float("nan"),
+        })
+    return rows, sorted({axis for axis, _ in groups}), \
+        sum(1 for r in records if r.ok)
+
+
+def summarise_by_scenario(records: Sequence[CampaignRecord]) -> ScenarioSummary:
+    """Aggregate campaign records per (scenario, strategy).
+
+    The robustness view of a sweep: how does each tuner hold up as the
+    cloud's conditions change?  Gaps compare each strategy against
+    DarwinGame *under the same scenario*, per (app, VM) cell.
+    """
+    rows, scenarios, n_done = _axis_rows(
+        records,
+        axis_of=_scenario_of,
+        cell_key_of=lambda record, axis: (
+            axis,
+            record.spec.strategy,
+            record.spec.app,
+            vm_display_name(record.spec.vm),
+            # Mixed-format sweeps must not dilute the DarwinGame baseline:
+            # gaps compare like-for-like tournament shapes.
+            _format_of(record),
+        ),
+        reference_cell=lambda key: (key[0], "DarwinGame") + key[2:],
+    )
     return ScenarioSummary(
-        rows=rows,
-        scenarios=sorted({scenario for scenario, _ in groups}),
+        rows=[
+            ScenarioRow(
+                scenario=r["axis"],
+                strategy=r["strategy"],
+                campaigns=r["campaigns"],
+                failures=r["failures"],
+                mean_time=r["mean_time"],
+                cov_percent=r["cov_percent"],
+                core_hours=r["core_hours"],
+                vs_darwin_percent=r["gap_percent"],
+            )
+            for r in rows
+        ],
+        scenarios=scenarios,
         total=len(records),
         failed=len(records) - n_done,
         done=n_done,
+    )
+
+
+@dataclass(frozen=True)
+class FormatRow:
+    """Aggregate of one (format, strategy) cell of a sweep.
+
+    ``vs_default_percent`` is the tournament-shape headline: the format's
+    mean execution time relative to the paper's ``darwin`` recipe *for the
+    same strategy*, averaged over (app, VM, scenario) cells so applications
+    with very different absolute times weigh equally.  Positive means the
+    alternate shape picked slower configurations.
+    """
+
+    format: str
+    strategy: str
+    campaigns: int
+    failures: int
+    mean_time: float
+    cov_percent: float
+    core_hours: float
+    vs_default_percent: float
+
+
+@dataclass(frozen=True)
+class FormatSummary:
+    """The sweep viewed along its tournament-format axis."""
+
+    rows: List[FormatRow]
+    formats: List[str]
+    total: int
+    done: int
+    failed: int
+
+    def row(self, format_name: str, strategy: str) -> FormatRow:
+        for r in self.rows:
+            if (r.format, r.strategy) == (format_name, strategy):
+                return r
+        raise KeyError((format_name, strategy))
+
+    def to_payload(self) -> dict:
+        """Deterministic plain-JSON form (rows sorted by cell key)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "formats": list(self.formats),
+            "rows": [asdict(r) for r in self.rows],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation used by determinism checks."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+
+def _format_of(record: CampaignRecord) -> str:
+    return getattr(record.spec, "format", "darwin")
+
+
+def summarise_by_format(records: Sequence[CampaignRecord]) -> FormatSummary:
+    """Aggregate campaign records per (tournament format, strategy).
+
+    The tournament-shape view of a sweep: which format picks the best
+    configurations, at what cost?  Gaps compare each format against the
+    ``darwin`` recipe *for the same strategy*, per (app, VM, scenario) cell.
+    """
+    rows, formats, n_done = _axis_rows(
+        records,
+        axis_of=_format_of,
+        cell_key_of=lambda record, axis: (
+            axis,
+            record.spec.strategy,
+            record.spec.app,
+            vm_display_name(record.spec.vm),
+            getattr(record.spec, "scenario", "steady"),
+        ),
+        reference_cell=lambda key: ("darwin",) + key[1:],
+    )
+    return FormatSummary(
+        rows=[
+            FormatRow(
+                format=r["axis"],
+                strategy=r["strategy"],
+                campaigns=r["campaigns"],
+                failures=r["failures"],
+                mean_time=r["mean_time"],
+                cov_percent=r["cov_percent"],
+                core_hours=r["core_hours"],
+                vs_default_percent=r["gap_percent"],
+            )
+            for r in rows
+        ],
+        formats=formats,
+        total=len(records),
+        failed=len(records) - n_done,
+        done=n_done,
+    )
+
+
+def format_table(summary: FormatSummary, *, title: str = "by format") -> str:
+    """Render the tournament-shape view with the shared table formatter."""
+    from repro.experiments.reporting import render_table
+
+    rows = [
+        (
+            r.format,
+            r.strategy,
+            r.campaigns,
+            r.failures,
+            r.mean_time,
+            r.cov_percent,
+            r.vs_default_percent,
+            r.core_hours,
+        )
+        for r in summary.rows
+    ]
+    footer = (
+        f"{summary.done}/{summary.total} campaigns done across "
+        f"{len(summary.formats)} format(s)"
+        + (f", {summary.failed} FAILED" if summary.failed else "")
+    )
+    return (
+        render_table(
+            ["format", "strategy", "n", "fail", "exec time (s)", "CoV %",
+             "vs darwin %", "core-hours"],
+            rows,
+            title=title,
+        )
+        + "\n"
+        + footer
     )
 
 

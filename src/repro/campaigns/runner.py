@@ -118,6 +118,7 @@ def execute_campaign(spec: CampaignSpec) -> CampaignRecord:
             eval_runs=spec.eval_runs,
             tuner_seed=spec.tuner_seed,
             scenario=spec.scenario,
+            tournament_format=spec.format,
         )
         return CampaignRecord(
             spec=spec,

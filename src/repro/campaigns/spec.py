@@ -76,6 +76,10 @@ class CampaignSpec:
         scenario: registered scenario-pack name — the dynamic cloud
             conditions the campaign tunes under (``"steady"`` is the
             paper's stationary baseline).
+        format: registered tournament-format recipe the DarwinGame engine
+            runs (``"darwin"`` is the paper's Alg. 1; see
+            :mod:`repro.formats.recipes`).  Strategies other than
+            ``DarwinGame`` have no tournament shape and ignore it.
     """
 
     app: str
@@ -88,6 +92,7 @@ class CampaignSpec:
     tuner_seed: Optional[int] = None
     tag: str = ""
     scenario: str = "steady"
+    format: str = "darwin"
 
     @property
     def campaign_id(self) -> str:
@@ -96,19 +101,23 @@ class CampaignSpec:
         Human-readable prefix plus a hash of every field, so any change to
         the spec yields a new ID while re-enumerating the same grid in a
         different process reproduces the same IDs (the resume contract).
-        The default ``steady`` scenario is excluded from the hash — steady
-        campaigns are the pre-scenario campaigns, so stores written before
-        the scenario axis existed keep resuming under their original IDs.
+        The default ``steady`` scenario and ``darwin`` format are excluded
+        from the hash — they are the pre-axis campaigns, so stores written
+        before those axes existed keep resuming under their original IDs.
         """
         data = asdict(self)
         if data.get("scenario", "steady") == "steady":
             del data["scenario"]
+        if data.get("format", "darwin") == "darwin":
+            del data["format"]
         blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha1(blob.encode("utf-8")).hexdigest()[:10]
         vm = vm_display_name(self.vm)
         prefix = f"{self.app}.{vm}.{self.strategy}.s{self.seed}"
         if self.scenario != "steady":
             prefix += f".{self.scenario}"
+        if self.format != "darwin":
+            prefix += f".{self.format}"
         return f"{prefix}.{digest}"
 
     def to_dict(self) -> dict:
@@ -123,12 +132,13 @@ class CampaignSpec:
 
 @dataclass(frozen=True)
 class CampaignGrid:
-    """A declarative fleet: apps x vms x strategies x scenarios x seeds.
+    """A declarative fleet: apps x vms x strategies x formats x scenarios x seeds.
 
     Enumeration order is deterministic (apps, then vms, then strategies,
-    then scenarios, then seeds) but campaign outcomes are order-independent
-    — every spec is self-contained — so a runner may execute them in any
-    order or in parallel and still reproduce serial results.
+    then formats, then scenarios, then seeds) but campaign outcomes are
+    order-independent — every spec is self-contained — so a runner may
+    execute them in any order or in parallel and still reproduce serial
+    results.
 
     The k-th seed's campaign starts ``k * start_time_step`` simulated
     seconds into the trace, mirroring the protocol's repeated-tuning setup.
@@ -143,20 +153,35 @@ class CampaignGrid:
     start_time_step: float = DEFAULT_START_TIME_STEP
     tag: str = ""
     scenarios: Tuple[str, ...] = ("steady",)
+    formats: Tuple[str, ...] = ("darwin",)
 
     def __post_init__(self) -> None:
         # Normalise CLI-style lists so equal grids hash/compare equal.
-        for name in ("apps", "strategies", "vms", "seeds", "scenarios"):
+        for name in ("apps", "strategies", "vms", "seeds", "scenarios",
+                     "formats"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
 
+    def _formats_for(self, strategy: str) -> Tuple[str, ...]:
+        """The format axis as it applies to one strategy.
+
+        Only ``DarwinGame`` has a tournament shape; enumerating a baseline
+        once per format would re-run byte-identical campaigns under
+        distinct IDs, so baselines collapse to a single ``darwin`` cell
+        (whose ID matches the same campaign in a formatless sweep).
+        """
+        if strategy == "DarwinGame":
+            return self.formats
+        return ("darwin",)
+
     @property
     def size(self) -> int:
         """Number of campaigns the grid enumerates."""
-        return (
-            len(self.apps) * len(self.vms) * len(self.strategies)
-            * len(self.scenarios) * len(self.seeds)
+        per_cell = len(self.apps) * len(self.vms) * len(self.scenarios) \
+            * len(self.seeds)
+        return per_cell * sum(
+            len(self._formats_for(s)) for s in self.strategies
         )
 
     def specs(self) -> Iterator[CampaignSpec]:
@@ -164,19 +189,21 @@ class CampaignGrid:
         for app in self.apps:
             for vm in self.vms:
                 for strategy in self.strategies:
-                    for scenario in self.scenarios:
-                        for k, seed in enumerate(self.seeds):
-                            yield CampaignSpec(
-                                app=app,
-                                strategy=strategy,
-                                vm=vm,
-                                scale=self.scale,
-                                seed=int(seed),
-                                start_time=float(k) * self.start_time_step,
-                                eval_runs=self.eval_runs,
-                                tag=self.tag,
-                                scenario=scenario,
-                            )
+                    for fmt in self._formats_for(strategy):
+                        for scenario in self.scenarios:
+                            for k, seed in enumerate(self.seeds):
+                                yield CampaignSpec(
+                                    app=app,
+                                    strategy=strategy,
+                                    vm=vm,
+                                    scale=self.scale,
+                                    seed=int(seed),
+                                    start_time=float(k) * self.start_time_step,
+                                    eval_runs=self.eval_runs,
+                                    tag=self.tag,
+                                    scenario=scenario,
+                                    format=fmt,
+                                )
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (stored as a sweep's header line)."""

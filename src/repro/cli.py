@@ -31,8 +31,10 @@ from repro.campaigns import (
     CampaignGrid,
     CampaignRunner,
     CampaignStore,
+    format_table,
     scenario_table,
     summarise,
+    summarise_by_format,
     summarise_by_scenario,
     summary_table,
 )
@@ -51,6 +53,7 @@ from repro.experiments import (
     run_vm_sweep,
 )
 from repro.experiments.format_power import FORMAT_NAMES
+from repro.formats.recipes import TOURNAMENT_FORMAT_NAMES, tournament_format_names
 from repro.scenarios import SCENARIO_NAMES, scenario_names
 
 _EXPERIMENTS = (
@@ -79,11 +82,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--scenario", default="steady", metavar="PACK",
         help=f"dynamic-cloud scenario pack (registered: {', '.join(SCENARIO_NAMES)})",
     )
+    parser.add_argument(
+        "--format", default="darwin", metavar="RECIPE", dest="format",
+        help="tournament-format recipe for the DarwinGame engine "
+             f"(registered: {', '.join(TOURNAMENT_FORMAT_NAMES)})",
+    )
 
 
 def _unknown_scenarios(names) -> list:
     known = scenario_names()
     return [n for n in names if n not in known]
+
+
+def _unknown_formats(names) -> list:
+    known = tournament_format_names()
+    return [n for n in names if n not in known]
+
+
+def _check_formats(names) -> int:
+    unknown = _unknown_formats(names)
+    if unknown:
+        print(f"unknown tournament format: {unknown[0]!r}; "
+              f"registered: {list(tournament_format_names())}")
+        return 2
+    return 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -92,10 +114,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"unknown scenario: {unknown[0]!r}; "
               f"registered: {list(scenario_names())}")
         return 2
+    if _check_formats([args.format]):
+        return 2
     app = make_application(args.app, scale=args.scale)
     run = run_strategy(
         app, args.strategy, vm=PRESETS[args.vm], seed=args.seed,
-        scenario=args.scenario,
+        scenario=args.scenario, tournament_format=args.format,
     )
     print(render_table(
         ["metric", "value"],
@@ -103,6 +127,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             ("application", app.name),
             ("search space", app.space.size),
             ("scenario", args.scenario),
+            ("format", args.format),
             ("strategy", run.strategy),
             ("chosen index", run.best_index),
             ("mean cloud exec time (s)", run.mean_time),
@@ -131,7 +156,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             result, run.evaluation, args.save,
             app_name=app.name, vm_name=args.vm,
             notes=f"scale={args.scale} seed={args.seed} "
-                  f"scenario={args.scenario}",
+                  f"scenario={args.scenario} format={args.format}",
         )
         print(f"\nCampaign archived to {path}")
     return 0
@@ -196,6 +221,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"unknown scenarios: {unknown}; "
               f"registered: {list(scenario_names())}")
         return 2
+    formats = csv(args.formats)
+    if _check_formats(formats):
+        return 2
     grid = CampaignGrid(
         apps=csv(args.apps),
         strategies=strategies,
@@ -204,6 +232,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         eval_runs=args.eval_runs,
         scenarios=scenarios,
+        formats=formats,
     )
     return _run_sweep(
         grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir
@@ -233,6 +262,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 summarise_by_scenario(records),
                 title=f"sweep {args.path} by scenario",
             ))
+        elif args.by_format:
+            print(format_table(
+                summarise_by_format(records),
+                title=f"sweep {args.path} by format",
+            ))
         else:
             print(summary_table(summarise(records), title=f"sweep {args.path}"))
         if grid is not None:
@@ -243,8 +277,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
                       f"finish with: python -m repro resume {args.path}")
         return 0
 
-    if args.by_scenario:
-        print(f"{args.path} is a single-campaign archive; --by-scenario "
+    if args.by_scenario or args.by_format:
+        flag = "--by-scenario" if args.by_scenario else "--by-format"
+        print(f"{args.path} is a single-campaign archive; {flag} "
               f"aggregates sweep stores (JSONL written by `repro sweep`)")
         return 2
     result, evaluation, meta = load_campaign(args.path)
@@ -272,6 +307,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown scenario: {unknown[0]!r}; "
               f"registered: {list(scenario_names())}")
         return 2
+    if _check_formats([args.format]):
+        return 2
     strategies = tuple(s.strip() for s in args.strategies.split(","))
     known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
     unknown = [s for s in strategies if s not in known]
@@ -282,13 +319,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for strategy in strategies:
         run = run_strategy(app, strategy, vm=PRESETS[args.vm], seed=args.seed,
-                           scenario=args.scenario)
+                           scenario=args.scenario,
+                           tournament_format=args.format)
         rows.append((strategy, run.mean_time, run.cov_percent, run.core_hours))
     print(render_table(
         ["strategy", "exec time (s)", "CoV %", "core-hours"],
         rows,
         title=f"Comparison on {app.name} (scale={args.scale}, "
-              f"seed={args.seed}, scenario={args.scenario})",
+              f"seed={args.seed}, scenario={args.scenario}, "
+              f"format={args.format})",
     ))
     return 0
 
@@ -472,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate a sweep store per scenario pack (tuner robustness "
              "under dynamic cloud conditions)",
     )
+    p_report.add_argument(
+        "--by-format", action="store_true",
+        help="aggregate a sweep store per tournament-format recipe (which "
+             "tournament shape picks the best configurations, at what cost)",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_sweep = sub.add_parser(
@@ -495,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenarios", default="steady",
         help="comma-separated scenario packs — the dynamic-conditions sweep "
              f"axis (registered: {', '.join(SCENARIO_NAMES)})",
+    )
+    p_sweep.add_argument(
+        "--formats", default="darwin",
+        help="comma-separated tournament-format recipes — the tournament-"
+             f"shape sweep axis (registered: {', '.join(TOURNAMENT_FORMAT_NAMES)})",
     )
     p_sweep.add_argument("--scale", default="bench", help="space scale preset")
     p_sweep.add_argument(

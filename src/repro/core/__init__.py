@@ -4,6 +4,7 @@ from repro.core.barrage import BarragePlayoffs, FinalResult, PlayoffResult
 from repro.core.config import ABLATION_NAMES, DarwinGameConfig, auto_regions
 from repro.core.double_elimination import DoubleEliminationGlobalPhase, GlobalResult
 from repro.core.dynamic import DynamicFeedbackDarwinGame, FeedbackConfig
+from repro.core.executor import MatchExecutor
 from repro.core.game import (
     GameReport,
     execution_scores_from_work,
@@ -27,6 +28,7 @@ __all__ = [
     "FinalResult",
     "GameReport",
     "GlobalResult",
+    "MatchExecutor",
     "PlayerRecord",
     "PlayoffResult",
     "RecordBook",

@@ -1,31 +1,39 @@
-"""Phases III & IV: barrage playoffs and the final (Sec. 3.5).
+"""Phases III & IV: the playoffs and the final (Sec. 3.5).
 
-Playoffs and the final are played between two players at a time with *no*
-early termination — near-winner configurations are too close for truncated
-games to separate reliably.  In the barrage format with four players:
+Playoff games are played two players at a time with *no* early termination —
+near-winner configurations are too close for truncated games to separate
+reliably — and games of one playoff round run on parallel VMs.  Which
+scheduler produces the two finalists is the config's
+:class:`~repro.formats.recipes.TournamentRecipe`:
 
-* game 1: the two players with the highest average execution score; the
-  winner goes straight to the final;
-* game 2: the remaining two players; the loser is eliminated;
-* game 3: the loser of game 1 against the winner of game 2; the winner
-  becomes the second finalist.
+* ``barrage`` (the paper's choice): seeds 1-2 play for a direct final spot,
+  seeds 3-4 for a barrage berth, and the loser of the top game gets one
+  brief second chance.  The ablation "w/o barrage" is the same scheduler
+  with the repechage off — a plain knockout.
+* ``single_elimination`` / ``double_elimination`` / ``round_robin``:
+  alternate recipes drive those :mod:`repro.formats` schedulers over the
+  same seeded field until two finalists remain.
 
 The final is a single two-player game; whoever finishes first wins the
-tournament.  The ablation "w/o barrage" replaces the repechage (game 3)
-with a plain knockout, denying game 1's loser its second chance.
+tournament.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
-from repro.core.game import GameReport, play_game, play_round
+from repro.core.executor import MatchExecutor
+from repro.core.game import GameReport
 from repro.core.records import RecordBook
 from repro.errors import TournamentError
+from repro.formats.barrage import Barrage
+from repro.formats.double_elimination import DoubleElimination
+from repro.formats.round_robin import RoundRobin
+from repro.formats.single_elimination import SingleElimination
 
 
 @dataclass(frozen=True)
@@ -46,7 +54,11 @@ class FinalResult:
 
 
 class BarragePlayoffs:
-    """Runs the playoffs (and final) among the global-phase qualifiers."""
+    """Runs the playoffs (and final) among the global-phase qualifiers.
+
+    Named for the paper's default playoff format; the scheduler actually
+    driven is the config recipe's ``playoffs`` choice.
+    """
 
     def __init__(
         self,
@@ -54,21 +66,26 @@ class BarragePlayoffs:
         app: ApplicationModel,
         config: DarwinGameConfig,
         records: RecordBook,
+        executor: Optional[MatchExecutor] = None,
     ) -> None:
         self.env = env
         self.app = app
         self.config = config
         self.records = records
+        self.executor = executor or MatchExecutor(env, app, config, records)
 
-    def _duel(self, a: int, b: int, label: str) -> GameReport:
-        """A two-player game, played to completion (no early termination)."""
-        return play_game(
-            self.env, self.app, [a, b], self.config, self.records,
-            allow_early_termination=False, label=label, advance_clock=True,
+    def _play(self, round_) -> list:
+        """One playoff round: parallel VMs, full games, clock by the slowest."""
+        results, _ = self.executor.play_scheduled(
+            round_,
+            label="playoffs",
+            allow_early_termination=False,
+            advance_clock=True,
         )
+        return results
 
     def run(self, players: Sequence[int]) -> PlayoffResult:
-        """Determine the two finalists among up to four playoff players."""
+        """Determine the two finalists among the playoff qualifiers."""
         pool = list(dict.fromkeys(int(p) for p in players))
         if len(pool) < 2:
             raise TournamentError(
@@ -79,42 +96,53 @@ class BarragePlayoffs:
             pool, use_execution=True, use_consistency=False
         )
         seeded: List[int] = [pool[int(p)] for p in order]
-
         if len(seeded) == 2:
             return PlayoffResult(finalists=(seeded[0], seeded[1]), games=0)
 
-        if len(seeded) == 3:
-            game1 = self._duel(seeded[0], seeded[1], "playoffs")
-            finalist1 = game1.winner_index
-            loser1 = seeded[1] if finalist1 == seeded[0] else seeded[0]
-            if self.config.barrage_playoffs:
-                game2 = self._duel(loser1, seeded[2], "playoffs")
-                return PlayoffResult((finalist1, game2.winner_index), games=2)
-            return PlayoffResult((finalist1, seeded[2]), games=1)
+        fmt = self.config.recipe().playoffs
+        if fmt == "barrage":
+            # The paper's playoffs seat at most four qualifiers (Sec. 3.5);
+            # "w/o barrage" runs the same bracket without the repechage.
+            run = Barrage(
+                repechage=self.config.barrage_playoffs
+            ).schedule(seeded[:4])
+            while (round_ := run.pairings()) is not None:
+                run.advance(self._play(round_))
+            outcome = run.result()
+            finalists = outcome.finalists
+        elif fmt == "single_elimination":
+            run = SingleElimination().schedule(seeded)
+            while len(run.alive) > 2:
+                run.advance(self._play(run.pairings()))
+            finalists = tuple(run.alive)
+        elif fmt == "double_elimination":
+            run = DoubleElimination().schedule(seeded)
+            while run.in_brackets:
+                run.advance(self._play(run.pairings()))
+            finalists = run.finalists
+        elif fmt == "round_robin":
+            run = RoundRobin().schedule(seeded)
+            while (round_ := run.pairings()) is not None:
+                run.advance(self._play(round_))
+            finalists = run.result().standings[:2]
+        else:  # pragma: no cover - recipes validate at registration
+            raise TournamentError(f"unknown playoff format {fmt!r}")
 
-        top, bottom = seeded[:2], seeded[2:4]
-        # Games 1 and 2 are independent, so they run as one round on
-        # parallel VMs; the clock advances by the longer of the two.
-        game1, game2 = play_round(
-            self.env, self.app, [top, bottom], self.config, self.records,
-            allow_early_termination=False, label="playoffs", advance_clock=True,
+        if len(finalists) < 2:
+            raise TournamentError(
+                f"playoff format {fmt!r} produced {len(finalists)} finalist(s)"
+            )
+        return PlayoffResult(
+            finalists=(int(finalists[0]), int(finalists[1])),
+            games=run.log.games,
         )
-        finalist1 = game1.winner_index
-        loser1 = top[1] if finalist1 == top[0] else top[0]
-        winner2 = game2.winner_index
-        if self.config.barrage_playoffs:
-            # Barrage repechage: loser of game 1 gets a second chance.
-            game3 = self._duel(loser1, winner2, "playoffs")
-            return PlayoffResult((finalist1, game3.winner_index), games=3)
-        # Plain knockout ablation: winners of games 1 and 2 meet in the final.
-        return PlayoffResult((finalist1, winner2), games=2)
 
     def final(self, finalists: Tuple[int, int]) -> FinalResult:
         """Play the final; the faster configuration wins the tournament."""
         a, b = finalists
         if a == b:
             raise TournamentError("the final needs two distinct players")
-        report = self._duel(a, b, "final")
+        report = self.executor.duel(a, b, label="final")
         winner = report.winner_index
         runner_up = b if winner == a else a
         return FinalResult(winner=winner, runner_up=runner_up, report=report)

@@ -16,6 +16,8 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import TournamentError
+from repro.formats.recipes import TournamentRecipe
+from repro.formats.recipes import tournament_format as resolve_tournament_format
 from repro.rng import SeedLike
 
 
@@ -50,6 +52,12 @@ class DarwinGameConfig:
         one_winner_per_region / global_phase / double_elimination /
         barrage_playoffs / use_execution_score / use_consistency_score /
         two_player_games_only: the Fig. 16 ablation switches.
+        tournament_format: named phase-format recipe from the
+            :mod:`repro.formats.recipes` registry.  ``"darwin"`` (default)
+            is the paper's Alg. 1; alternates swap the playoff scheduler
+            and/or drop the loser bracket, making the tournament's *shape*
+            a sweepable axis.  Non-default recipes are applied on top of
+            the flags above (see :meth:`apply_recipe`).
         seed: master seed of the tournament's own randomness (player
             selection, pairings); independent of the environment's noise.
     """
@@ -73,9 +81,11 @@ class DarwinGameConfig:
     use_execution_score: bool = True
     use_consistency_score: bool = True
     two_player_games_only: bool = False
+    tournament_format: str = "darwin"
     seed: SeedLike = 0
 
     def __post_init__(self) -> None:
+        resolve_tournament_format(self.tournament_format)  # fail fast on typos
         if not 0.0 < self.work_deviation < 1.0:
             raise TournamentError(
                 f"work_deviation must be in (0, 1), got {self.work_deviation}"
@@ -104,6 +114,31 @@ class DarwinGameConfig:
             raise TournamentError(
                 "at least one of execution score and consistency score must be used"
             )
+
+    def recipe(self) -> TournamentRecipe:
+        """The registered phase-format recipe this config runs under."""
+        return resolve_tournament_format(self.tournament_format)
+
+    def with_format(self, name: str) -> "DarwinGameConfig":
+        """Return a copy running under the named tournament format."""
+        return replace(self, tournament_format=name)
+
+    def apply_recipe(self) -> "DarwinGameConfig":
+        """Fold the recipe's phase choices into the ablation flags.
+
+        The ``darwin`` recipe changes nothing — flags (and therefore every
+        Fig. 16 ablation, and bit-for-bit results) are exactly the
+        pre-recipe behaviour.  Alternate recipes only ever *restrict*
+        (e.g. dropping the loser bracket); the playoff scheduler choice is
+        read from :meth:`recipe` by the playoff phase directly.
+        """
+        recipe = self.recipe()
+        changes = {}
+        if not recipe.swiss_regional and self.swiss_style:
+            changes["swiss_style"] = False
+        if not recipe.double_elimination_global and self.double_elimination:
+            changes["double_elimination"] = False
+        return replace(self, **changes) if changes else self
 
     def with_ablation(self, name: str) -> "DarwinGameConfig":
         """Return a copy with one named Fig. 16 ablation applied."""

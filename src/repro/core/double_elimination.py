@@ -1,30 +1,35 @@
 """Phase II: the global phase, played in double elimination style (Sec. 3.4).
 
-Regional winners enter the main bracket.  Each round groups players (groups
-are mixed across source regions for diversity), plays one game per group,
-and judges players by the *sum* of their execution-score rank and their
-consistency-score rank — the joint criterion that selects configurations
-that are both fast and stable under noise (Fig. 7).  Group winners stay in
-the main bracket; everyone else moves to the loser bracket instead of being
-eliminated.  Rounds continue until the main bracket holds the target number
-of players (three in the paper).  Finally, the best loser-bracket players
-play one game whose winner receives a wild-card entry into the playoffs.
+The bracket mechanics — dealing mixed-region groups, the loser pool, the
+wild-card game — are the :class:`repro.formats.double_elimination.
+GroupedDoubleElimination` scheduler; this module is the thin adapter that
+binds them to the cloud.  Each scheduled round is played as one batched
+simulation through the :class:`~repro.core.executor.MatchExecutor` (groups
+play on parallel VMs, the clock advances by the slowest game), and each
+group is judged by the *sum* of its execution-score rank and consistency
+rank — the joint criterion that selects configurations that are both fast
+and stable under noise (Fig. 7).  Group winners stay in the main bracket;
+everyone else moves to the loser bracket instead of being eliminated, and
+once the main bracket holds the target number of players the best
+loser-bracket players play one game whose winner receives a wild-card entry
+into the playoffs.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
-from repro.core.game import play_game, play_round
+from repro.core.executor import MatchExecutor
+from repro.core.game import GameReport
 from repro.core.records import RecordBook
 from repro.errors import TournamentError
+from repro.formats.double_elimination import GroupedDoubleElimination, form_groups
 
 
 @dataclass(frozen=True)
@@ -54,13 +59,15 @@ class DoubleEliminationGlobalPhase:
         app: ApplicationModel,
         config: DarwinGameConfig,
         records: RecordBook,
+        executor: Optional[MatchExecutor] = None,
     ) -> None:
         self.env = env
         self.app = app
         self.config = config
         self.records = records
+        self.executor = executor or MatchExecutor(env, app, config, records)
 
-    # -- group formation ---------------------------------------------------
+    # -- scheduling hooks ----------------------------------------------------
 
     def _players_per_game(self) -> int:
         cfg = self.config
@@ -72,22 +79,27 @@ class DoubleEliminationGlobalPhase:
     def _form_groups(
         self, players: Sequence[int], n_games: int, rng: np.random.Generator
     ) -> List[List[int]]:
-        """Deal players into groups, spreading source regions across groups.
+        """Deal players into region-diverse groups (the scheduler's rule)."""
+        return form_groups(
+            players, n_games, rng,
+            group_key=lambda p: self.records.get(p).region_id,
+        )
 
-        Sorting by region id and dealing round-robin guarantees that two
-        players from the same region land in the same group only when there
-        are more of them than groups — the paper's diversity requirement.
-        """
-        ordered = sorted(players, key=lambda p: (self.records.get(p).region_id, p))
-        # Random rotation so the deal is not biased by region numbering.
-        offset = int(rng.integers(0, len(ordered))) if len(ordered) > 1 else 0
-        ordered = ordered[offset:] + ordered[:offset]
-        groups: List[List[int]] = [[] for _ in range(n_games)]
-        for pos, player in enumerate(ordered):
-            groups[pos % n_games].append(player)
-        return [g for g in groups if g]
+    def _format(self) -> GroupedDoubleElimination:
+        cfg = self.config
+        return GroupedDoubleElimination(
+            players_per_game=self._players_per_game(),
+            target=cfg.main_bracket_target,
+            double_elimination=cfg.double_elimination,
+            group_key=lambda p: self.records.get(p).region_id,
+            seed_order=lambda players: self.records.combined_rank_order(
+                players,
+                use_execution=cfg.use_execution_score,
+                use_consistency=cfg.use_consistency_score,
+            ),
+        )
 
-    def _judge_game(self, lineup: List[int], game_scores: Sequence[float]) -> int:
+    def _judge_game(self, lineup: Sequence[int], game_scores: Sequence[float]) -> int:
         """Winner = lowest sum of execution-score rank and consistency rank.
 
         Ranks within the game use the *current game's* execution scores and
@@ -102,7 +114,7 @@ class DoubleEliminationGlobalPhase:
             total += rank_with_ties(np.asarray(game_scores), descending=True)
         if cfg.use_consistency_score:
             total += rank_with_ties(
-                self.records.consistency_scores(lineup), descending=True
+                self.records.consistency_scores(list(lineup)), descending=True
             )
         best = int(np.argmin(total))
         # Deterministic tie-break on the game's execution score.
@@ -111,84 +123,36 @@ class DoubleEliminationGlobalPhase:
             best = int(ties[np.argmax(np.asarray(game_scores)[ties])])
         return best
 
+    def _judge(self, lineup: Sequence[int], report: GameReport) -> int:
+        return self._judge_game(lineup, report.execution_scores)
+
     # -- the phase ---------------------------------------------------------
 
     def run(self, entrants: Sequence[int], rng: np.random.Generator) -> GlobalResult:
         """Play the global phase and return the playoff qualifiers."""
-        main = list(dict.fromkeys(int(p) for p in entrants))
-        if not main:
+        if not list(entrants):
             raise TournamentError("global phase needs at least one entrant")
-        cfg = self.config
-        target = cfg.main_bracket_target
-        per_game = self._players_per_game()
-        losers: List[int] = []
-        rounds = 0
-        games = 0
-
-        while len(main) > target:
-            # Aim for at least `target` winners per round (so the bracket
-            # shrinks gradually) while never exceeding the per-game player
-            # cap; single-player groups are byes.
-            n_games = max(
-                math.ceil(len(main) / per_game), min(target, len(main) // 2), 1
+        run = self._format().schedule(entrants, rng)
+        while (round_ := run.pairings()) is not None:
+            in_groups = run.stage == "groups"
+            results, reports = self.executor.play_scheduled(
+                round_,
+                label="global",
+                judge=self._judge,
+                # The wild-card game advances the clock inline (a one-game
+                # round); group rounds advance once by the slowest game.
+                advance_clock=not in_groups,
             )
-            groups = self._form_groups(main, n_games, rng)
-            # Groups play on parallel VMs: submit the whole round as one
-            # batched simulation, then judge each group.
-            playable = [group for group in groups if len(group) > 1]
-            reports = iter(play_round(
-                self.env, self.app, playable, cfg, self.records,
-                label="global", advance_clock=False,
-            ))
-            round_winners: List[int] = []
-            round_elapsed = 0.0
-            for group in groups:
-                if len(group) == 1:
-                    round_winners.extend(group)  # bye
-                    continue
-                report = next(reports)
-                games += 1
-                round_elapsed = max(round_elapsed, report.elapsed)
-                winner_pos = self._judge_game(group, report.execution_scores)
-                round_winners.append(group[winner_pos])
-                for pos, player in enumerate(group):
-                    if pos != winner_pos:
-                        losers.append(player)
-            self.env.advance(round_elapsed)
-            rounds += 1
-            if len(round_winners) >= len(main):
-                break  # no reduction possible (all byes)
-            main = round_winners
-
-        wildcard = -1
-        if cfg.double_elimination and losers:
-            wildcard = self._loser_bracket_game(losers, per_game)
-            games += 1 if len(losers) > 1 else 0
-        elif not cfg.double_elimination:
-            losers = []  # losers were eliminated outright
-
+            run.advance(results)
+            if in_groups:
+                self.executor.advance_clock(
+                    self.executor.round_elapsed(reports)
+                )
+        outcome = run.result()
         return GlobalResult(
-            main_bracket=tuple(main),
-            wildcard=wildcard,
-            rounds=rounds,
-            games=games,
-            loser_bracket_size=len(set(losers)),
+            main_bracket=outcome.main_bracket,
+            wildcard=outcome.wildcard,
+            rounds=outcome.rounds,
+            games=outcome.games,
+            loser_bracket_size=outcome.loser_bracket_size,
         )
-
-    def _loser_bracket_game(self, losers: List[int], per_game: int) -> int:
-        """One game among the best loser-bracket players; winner = wild card."""
-        unique = list(dict.fromkeys(losers))
-        if len(unique) == 1:
-            return unique[0]
-        order = self.records.combined_rank_order(
-            unique,
-            use_execution=self.config.use_execution_score,
-            use_consistency=self.config.use_consistency_score,
-        )
-        lineup = [unique[int(p)] for p in order[:per_game]]
-        report = play_game(
-            self.env, self.app, lineup, self.config, self.records,
-            label="global", advance_clock=True,
-        )
-        winner_pos = self._judge_game(lineup, report.execution_scores)
-        return lineup[winner_pos]

@@ -1,11 +1,11 @@
 """Phase I: the regional phase, played in Swiss style (Sec. 3.3, Fig. 6).
 
-Within each region, rounds of multi-player games are played.  Round one picks
-players at random; every later round fills half its seats with players that
-have never played (new players) and half with previously scored players,
-selected probabilistically — a higher execution score means a higher chance
-of being re-selected, so the most promising configurations keep contending
-with each other (the Swiss property).
+The playing style itself — score-proportional re-selection, newcomer seats,
+champion-streak termination — is the :class:`repro.formats.swiss.StreakSwiss`
+scheduler; this module is the thin adapter binding it to the cloud: each
+region is a drawable player pool, scores come from the shared
+:class:`~repro.core.records.RecordBook`, and every lockstep round is played
+through the batched :class:`~repro.core.executor.MatchExecutor`.
 
 A region terminates when one player has won consecutively "more than one
 time" (the champion), when the pool of new players is exhausted, or when the
@@ -15,25 +15,25 @@ candidates send several winners to the global phase.
 
 Regions play on parallel VMs, so :meth:`SwissRegionalPhase.run_all` advances
 *all* regions in lockstep: each iteration collects one lineup per still-open
-region and submits the whole round through :func:`~repro.core.game.play_round`
-as a single batched simulation.  :meth:`SwissRegionalPhase.run_region` runs
-one region to termination on its own (the sequential special case).
+region and submits the whole round as a single batched simulation.
+:meth:`SwissRegionalPhase.run_region` runs one region to termination on its
+own (the sequential special case).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
-from repro.core.game import GameReport, play_round
+from repro.core.executor import MatchExecutor
 from repro.core.records import RecordBook
 from repro.errors import TournamentError
+from repro.formats.swiss import StreakSwiss, StreakSwissRun
 from repro.space.regions import Region
 
 
@@ -53,166 +53,47 @@ class RegionalResult:
             raise TournamentError("champion must be among the region winners")
 
 
-# Exponent sharpening score-proportional selection: strong players meet often.
-_SELECTION_SHARPNESS = 4.0
-
-
-class _RegionRun:
-    """Stepwise state machine of one region: one lineup per round.
-
-    ``next_lineup`` returns the lineup the region wants to play this round
-    (or ``None`` once the region has terminated); ``observe`` books the
-    played game's report back into the state.  The driver decides whether
-    rounds from many regions are simulated together (lockstep batches) or
-    one region at a time — the machine is oblivious.
-    """
+class _RegionDrive:
+    """One region's scheduler run plus the adapter-side accounting."""
 
     def __init__(
         self, phase: "SwissRegionalPhase", region: Region, rng: np.random.Generator
     ) -> None:
-        self.phase = phase
         self.region = region
-        self.rng = rng
-        self.games = 0
         self.elapsed = 0.0
-        self.champion = -1
-        self.streak = 0
-        self.round_no = 0
-        self.done = False
-        # Ordered set of everyone who has played (and so carries a score):
-        # position map plus the matching list, maintained incrementally.
-        self._played: Dict[int, int] = {}
-        self._played_list: List[int] = []
-        self._assigned: set = set()
-        self._lineup: Optional[List[int]] = None
-        self._lone: Optional[int] = None
-        self._swiss = phase.config.swiss_style
+        self.run: StreakSwissRun = phase._format_for(region).schedule(
+            region,
+            rng,
+            scores=phase.records.mean_execution_scores,
+            on_assign=lambda idx: phase.records.assign_region(
+                idx, region.region_id
+            ),
+        )
 
-        cfg = phase.config
-        self.players_per_game = phase._players_per_game(region)
-        if region.size == 1:
-            # Degenerate single-point region: the lone config advances unplayed.
-            self._lone = region.start
-            phase.records.assign_region(self._lone, region.region_id)
-            self.done = True
-            return
+    @property
+    def done(self) -> bool:
+        return self.run.done
 
-        if self._swiss:
-            self._fresh: Optional[List[int]] = (
-                [int(i) for i in region.sample(region.size, rng, replace=False)]
-                if region.size <= 4 * self.players_per_game else None
-            )
-            # Large regions draw new players lazily instead of materialising all.
-            self._drawn: set = set()
-            max_rounds = cfg.max_regional_rounds
-            if max_rounds is None:
-                newcomers = max(1, self.players_per_game // 2)
-                max_rounds = min(64, math.ceil(region.size / newcomers) + 2)
-            self.max_rounds = max_rounds
-        else:
-            self.max_rounds = 1
-
-    # -- drawing newcomers -------------------------------------------------
-
-    def _draw_new(self, n: int) -> List[int]:
-        if self._fresh is not None:
-            out = self._fresh[:n]
-            del self._fresh[:n]
-            return [int(i) for i in out]
-        out: List[int] = []
-        attempts = 0
-        while len(out) < n and attempts < 20:
-            batch = self.region.sample(max(2 * n, 8), self.rng)
-            for i in batch:
-                iv = int(i)
-                if iv not in self._drawn:
-                    self._drawn.add(iv)
-                    out.append(iv)
-                    if len(out) == n:
-                        break
-            attempts += 1
-        return out
-
-    # -- the round protocol ------------------------------------------------
-
-    def next_lineup(self) -> Optional[List[int]]:
-        """Lineup this region wants to play now; ``None`` once terminated."""
-        if self.done:
-            return None
-        if not self._swiss:
-            lineup = [int(i) for i in self.region.sample(
-                min(self.players_per_game, self.region.size), self.rng,
-                replace=False,
-            )]
-        elif self.round_no >= self.max_rounds:
-            self.done = True
-            return None
-        elif self.round_no == 0:
-            lineup = self._draw_new(self.players_per_game)
-        else:
-            n_new = self.players_per_game // 2
-            newcomers = self._draw_new(n_new)
-            veterans = self.phase._select_veterans(
-                self._played_list, self._played, self.champion,
-                self.players_per_game - len(newcomers), self.rng,
-            )
-            lineup = veterans + newcomers
-        lineup = list(dict.fromkeys(lineup))
-        if len(lineup) < 2:
-            self.done = True
-            return None
-        for idx in lineup:
-            if idx not in self._assigned:
-                self._assigned.add(idx)
-                self.phase.records.assign_region(idx, self.region.region_id)
-        self._lineup = lineup
-        return lineup
-
-    def observe(self, report: GameReport) -> None:
-        """Book one played round back into the region's state."""
-        self.games += 1
-        self.elapsed += report.elapsed
-        played = self._played
-        for idx in self._lineup or ():
-            if idx not in played:
-                played[idx] = len(played)
-                self._played_list.append(idx)
-        self._lineup = None
-        self.round_no += 1
-
-        if not self._swiss:
-            self.champion = report.winner_index
-            self.done = True
-            return
-        if report.winner_index == self.champion:
-            self.streak += 1
-        else:
-            self.champion = report.winner_index
-            self.streak = 1
-        if self.streak >= self.phase.config.regional_win_streak:
-            self.done = True
-        elif self._fresh is not None and not self._fresh:
-            self.done = True
-
-    def result(self) -> RegionalResult:
-        """The region's final :class:`RegionalResult` (after termination)."""
+    def result(self, phase: "SwissRegionalPhase") -> RegionalResult:
+        run = self.run
         region = self.region
-        if self._lone is not None:
+        if run.lone is not None:
             return RegionalResult(
-                region_id=region.region_id, winners=(self._lone,),
-                champion=self._lone, rounds=0, games=0, elapsed=0.0,
+                region_id=region.region_id, winners=(run.lone,),
+                champion=run.lone, rounds=0, games=0, elapsed=0.0,
             )
-        if self.champion < 0:
+        if run.champion < 0:
             raise TournamentError(
                 f"region {region.region_id} terminated without playing a game"
             )
-        winners = self.phase._winner_band(self._played_list, self.champion)
+        winners = phase._winner_band(run.played_players, run.champion)
+        swiss = phase.config.swiss_style
         return RegionalResult(
             region_id=region.region_id,
             winners=tuple(winners),
-            champion=self.champion,
-            rounds=self.games if not self._swiss else min(self.max_rounds, self.games),
-            games=self.games,
+            champion=run.champion,
+            rounds=run.games if not swiss else min(run.max_rounds, run.games),
+            games=run.games,
             elapsed=self.elapsed,
         )
 
@@ -226,47 +107,13 @@ class SwissRegionalPhase:
         app: ApplicationModel,
         config: DarwinGameConfig,
         records: RecordBook,
+        executor: Optional[MatchExecutor] = None,
     ) -> None:
         self.env = env
         self.app = app
         self.config = config
         self.records = records
-
-    # -- player selection ------------------------------------------------
-
-    def _select_veterans(
-        self,
-        members: List[int],
-        positions: Dict[int, int],
-        champion: int,
-        n: int,
-        rng: np.random.Generator,
-    ) -> List[int]:
-        """Pick ``n`` previously scored players, champion always included.
-
-        ``members`` is the ordered list of scored players and ``positions``
-        its index map, both maintained incrementally by the caller — so the
-        membership test is O(1) and the selection weights come from one
-        vectorised score gather instead of a per-player pool rebuild.
-        """
-        if n <= 0:
-            return []
-        champion_pos = positions.get(champion)
-        chosen: List[int] = [champion] if champion_pos is not None else []
-        want = n - len(chosen)
-        if want > 0 and len(members) > len(chosen):
-            scores = self.records.mean_execution_scores(members)
-            weights = np.power(np.maximum(scores, 1e-6), _SELECTION_SHARPNESS)
-            if champion_pos is not None:
-                weights[champion_pos] = 0.0
-            total = weights.sum()
-            if total > 0:
-                take = min(want, len(members) - len(chosen))
-                picks = rng.choice(
-                    len(members), size=take, replace=False, p=weights / total
-                )
-                chosen.extend(members[int(p)] for p in picks)
-        return chosen[:n]
+        self.executor = executor or MatchExecutor(env, app, config, records)
 
     # -- the phase ---------------------------------------------------------
 
@@ -285,38 +132,48 @@ class SwissRegionalPhase:
         """Play all regions in lockstep, one batched round per iteration.
 
         Regions run on parallel VMs, so round ``r`` of every still-open
-        region forms one batch submitted through
-        :func:`~repro.core.game.play_round`; regions drop out of the
-        lockstep as they terminate.  The simulated clock is *not* advanced
-        here — per-region elapsed times are reported in the results so the
-        caller advances once by the slowest region, as before.
+        region forms one batch played through the executor; regions drop out
+        of the lockstep as they terminate.  The simulated clock is *not*
+        advanced here — per-region elapsed times are reported in the results
+        so the caller advances once by the slowest region, as before.
         """
         if len(regions) != len(rngs):
             raise TournamentError(
                 f"need one rng per region, got {len(rngs)} for {len(regions)}"
             )
-        runs = [_RegionRun(self, r, g) for r, g in zip(regions, rngs)]
-        open_runs = [run for run in runs if not run.done]
-        while open_runs:
+        drives = [_RegionDrive(self, r, g) for r, g in zip(regions, rngs)]
+        open_drives = [d for d in drives if not d.done]
+        while open_drives:
             pending = []
             lineups = []
-            for run in open_runs:
-                lineup = run.next_lineup()
+            for drive in open_drives:
+                lineup = drive.run.next_lineup()
                 if lineup is not None:
-                    pending.append(run)
+                    pending.append(drive)
                     lineups.append(lineup)
             if not pending:
                 break
-            reports = play_round(
-                self.env, self.app, lineups, self.config, self.records,
-                label="regional", advance_clock=False,
+            reports = self.executor.play(
+                lineups, label="regional", advance_clock=False
             )
-            for run, report in zip(pending, reports):
-                run.observe(report)
-            open_runs = [run for run in pending if not run.done]
-        return [run.result() for run in runs]
+            for drive, report in zip(pending, reports):
+                drive.elapsed += report.elapsed
+                drive.run.advance([self.executor.recorded(report)])
+            open_drives = [d for d in pending if not d.done]
+        return [d.result(self) for d in drives]
 
     # -- helpers -----------------------------------------------------------
+
+    def _format_for(self, region: Region) -> StreakSwiss:
+        """The regional playing style, sized to the VM (the scheduler clamps
+        seats to the region itself)."""
+        cfg = self.config
+        return StreakSwiss(
+            players_per_game=self._players_per_game(region),
+            win_streak=cfg.regional_win_streak,
+            max_rounds=cfg.max_regional_rounds,
+            swiss_style=cfg.swiss_style,
+        )
 
     def _players_per_game(self, region: Region) -> int:
         cfg = self.config

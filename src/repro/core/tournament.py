@@ -5,6 +5,13 @@ Phases: regional (Swiss) -> global (double elimination) -> playoffs
 the simulated campaign clock advances by the *longest* game of a round, while
 the core-hour ledger bills every game in full — matching how the paper
 reports tuning time versus tuning cost.
+
+The orchestrator composes the scheduler/executor engine: each phase adapter
+drives a :mod:`repro.formats` scheduler through one shared
+:class:`~repro.core.executor.MatchExecutor`, and the config's
+:class:`~repro.formats.recipes.TournamentRecipe` (``tournament_format``)
+selects which schedulers — the paper's Alg. 1 is the default ``darwin``
+recipe, alternates swap the playoff bracket or drop the loser bracket.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from repro.cloud.environment import CloudEnvironment
 from repro.core.barrage import BarragePlayoffs
 from repro.core.config import DarwinGameConfig, auto_regions
 from repro.core.double_elimination import DoubleEliminationGlobalPhase
-from repro.core.game import play_game
+from repro.core.executor import MatchExecutor
 from repro.core.records import RecordBook
 from repro.core.swiss import SwissRegionalPhase
 from repro.errors import TournamentError
@@ -44,20 +51,22 @@ class DarwinGame:
     name = "DarwinGame"
 
     def __init__(self, config: Optional[DarwinGameConfig] = None) -> None:
-        self.config = config or DarwinGameConfig()
+        # Fold the named recipe's phase choices into the flags up front, so
+        # every phase below sees one consistent config (a no-op for the
+        # default ``darwin`` format).
+        self.config = (config or DarwinGameConfig()).apply_recipe()
 
     # -- phases --------------------------------------------------------------
 
     def _regional_phase(
         self,
-        app: ApplicationModel,
-        env: CloudEnvironment,
-        records: RecordBook,
+        executor: MatchExecutor,
         rng: np.random.Generator,
         details: dict,
         index_range: Tuple[int, int],
     ) -> List[int]:
         cfg = self.config
+        env = executor.env
         start, stop = index_range
         # Region sizing follows the VM's nominal game width, *not* the
         # "all 2-player games" ablation — so that ablation isolates the
@@ -70,7 +79,9 @@ class DarwinGame:
         regions = partition_range(
             start, stop, n_regions, interleaved=cfg.interleaved_regions
         )
-        swiss = SwissRegionalPhase(env, app, cfg, records)
+        swiss = SwissRegionalPhase(
+            env, executor.app, cfg, executor.records, executor=executor
+        )
         region_rngs = spawn(rng, len(regions))
 
         entrants: List[int] = []
@@ -121,16 +132,17 @@ class DarwinGame:
 
     def _global_phase(
         self,
-        app: ApplicationModel,
-        env: CloudEnvironment,
-        records: RecordBook,
+        executor: MatchExecutor,
         entrants: Sequence[int],
         rng: np.random.Generator,
         details: dict,
     ) -> List[int]:
         cfg = self.config
+        env, app, records = executor.env, executor.app, executor.records
         if cfg.global_phase:
-            phase = DoubleEliminationGlobalPhase(env, app, cfg, records)
+            phase = DoubleEliminationGlobalPhase(
+                env, app, cfg, records, executor=executor
+            )
             result = phase.run(entrants, child(rng))
             details["global"] = {
                 "entrants": len(entrants),
@@ -160,9 +172,7 @@ class DarwinGame:
         if len(pool) < 2:
             details["global"] = {"entrants": len(entrants), "games": 0}
             return pool
-        report = play_game(
-            env, app, pool, cfg, records, label="global", advance_clock=True
-        )
+        report = executor.play([pool], label="global", advance_clock=True)[0]
         order = np.argsort(-np.asarray(report.execution_scores), kind="stable")
         qualifiers = [pool[int(p)] for p in order[: cfg.main_bracket_target + 1]]
         details["global"] = {"entrants": len(entrants), "games": 1}
@@ -186,7 +196,12 @@ class DarwinGame:
         cfg = self.config
         rng = ensure_rng(cfg.seed)
         records = RecordBook()
+        # One executor runs every phase: one batched play path, one score
+        # book, one clock/core-hour accounting point.
+        executor = MatchExecutor(env, app, cfg, records)
         details: dict = {}
+        if cfg.tournament_format != "darwin":
+            details["format"] = cfg.tournament_format
         hours_before = env.ledger.snapshot()
         time_before = env.now
         span = index_range or (0, app.space.size)
@@ -194,7 +209,7 @@ class DarwinGame:
             raise TournamentError(f"invalid index range {span}")
 
         if cfg.regional_phase:
-            entrants = self._regional_phase(app, env, records, rng, details, span)
+            entrants = self._regional_phase(executor, rng, details, span)
         else:
             entrants = self._direct_entrants(app, records, rng, details, span)
         if not entrants:
@@ -205,13 +220,15 @@ class DarwinGame:
             details["playoffs"] = {"games": 0}
         else:
             playoff_players = self._global_phase(
-                app, env, records, entrants, rng, details
+                executor, entrants, rng, details
             )
             if len(playoff_players) == 1:
                 winner = playoff_players[0]
                 details["playoffs"] = {"games": 0}
             else:
-                playoffs = BarragePlayoffs(env, app, cfg, records)
+                playoffs = BarragePlayoffs(
+                    env, app, cfg, records, executor=executor
+                )
                 playoff_result = playoffs.run(playoff_players)
                 final_result = playoffs.final(playoff_result.finalists)
                 winner = final_result.winner

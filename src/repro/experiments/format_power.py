@@ -6,11 +6,15 @@ surfaces the strongest of a large pool cheaply, double elimination protects
 good players from "one bad day", and knockouts are cheap but fragile.  This
 study reproduces the standard analysis of that literature — the
 *predictive power* of a format is the probability that its winner is the
-ground-truth strongest player, measured under increasing observation noise
-— using the clean-room schedulers of :mod:`repro.formats`.
+ground-truth strongest player, measured under increasing observation noise.
 
-It is the quantitative backing for DarwinGame's phase choices: the bench
-asserts the orderings the paper's design relies on.
+Every trial drives the *same* :mod:`repro.formats` scheduler state machines
+the real DarwinGame tuner plays (there is no separate study-only
+implementation), just through a noisy-strength match oracle instead of the
+batched cloud executor — so what this study measures is exactly the
+scheduling behaviour the tuner ships with.  It is the quantitative backing
+for DarwinGame's phase choices: the bench asserts the orderings the paper's
+design relies on.
 """
 
 from __future__ import annotations

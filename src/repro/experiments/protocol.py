@@ -104,6 +104,7 @@ def run_strategy(
     darwin_config: Optional[DarwinGameConfig] = None,
     tuner_seed: Optional[int] = None,
     scenario=None,
+    tournament_format: Optional[str] = None,
 ) -> StrategyRun:
     """Tune once with ``strategy`` and evaluate the chosen configuration.
 
@@ -121,7 +122,17 @@ def run_strategy(
     Scenario`) overlays dynamic cloud conditions on the environment; both
     tuning *and* the post-hoc evaluation run under them.  The oracle is
     unaffected — its dedicated environment has no interference to modify.
+
+    ``tournament_format`` (a registered :mod:`repro.formats.recipes` name)
+    selects the tournament shape the DarwinGame engine runs.  The name is
+    validated for every strategy (typos fail fast), but only ``DarwinGame``
+    has a tournament shape — other strategies run identically under every
+    format.
     """
+    if tournament_format is not None:
+        from repro.formats.recipes import tournament_format as resolve_format
+
+        resolve_format(tournament_format)
     env = CloudEnvironment(vm, seed=seed, start_time=start_time,
                            scenario=scenario)
     if tuner_seed is None:
@@ -148,8 +159,14 @@ def run_strategy(
             best_index=point.index,
         )
 
-    if strategy == "DarwinGame" and darwin_config is not None:
-        tuner = DarwinGame(darwin_config)
+    if strategy == "DarwinGame":
+        config = (
+            darwin_config if darwin_config is not None
+            else DarwinGameConfig(seed=tuner_seed)
+        )
+        if tournament_format is not None:
+            config = config.with_format(tournament_format)
+        tuner = DarwinGame(config)
     else:
         tuner = _make_strategy(strategy, tuner_seed)
     result: TuningResult = tuner.tune(app, env)

@@ -1,36 +1,103 @@
-"""Generic tournament formats over abstract players.
+"""Tournament formats: the scheduler half of the unified tournament engine.
 
 DarwinGame's phases (Sec. 3) are built from three classic playing styles —
 Swiss, double elimination, and barrage — and the paper grounds its choices
 in the tournament-design literature (its refs. [26, 35, 44, 58, 64]).  This
-package provides those formats as *reusable schedulers* over abstract player
-ids with a pluggable match oracle, so that
+package provides those formats as *schedulers* over abstract player ids:
+pure state machines that emit rounds of matches and ingest results, with no
+opinion about how a match is decided (see :mod:`repro.formats.scheduler`).
 
-* the format mechanics can be unit- and property-tested in isolation from
-  the cloud simulator, and
-* the predictive power of each format under noise can be studied directly
-  (:mod:`repro.experiments.format_power`), reproducing the style of analysis
-  the paper cites when motivating its phase structure.
+One set of schedulers serves every consumer:
 
-The tournament core in :mod:`repro.core` keeps its own phase implementations
-(they are entangled with scores, early termination and core-hour accounting);
-this package is the clean-room counterpart used for studies and validation.
+* the tournament core in :mod:`repro.core` composes them with its batched
+  :class:`~repro.core.executor.MatchExecutor` — real co-located cloud games,
+  scores, early termination, and core-hour accounting — to run the actual
+  tuner, under any registered :class:`~repro.formats.recipes.TournamentRecipe`;
+* :mod:`repro.experiments.format_power` drives the very same state machines
+  with a noisy-strength :class:`~repro.formats.match.MatchOracle` to measure
+  each format's predictive power, reproducing the style of analysis the
+  paper cites when motivating its phase structure.
+
+There is no separate clean-room implementation anywhere: what the studies
+measure is what the tuner plays.
 """
 
+from repro.formats.barrage import Barrage, BarrageResult, BarrageRun
+from repro.formats.double_elimination import (
+    DoubleElimination,
+    DoubleEliminationResult,
+    DoubleEliminationRun,
+    GroupedDoubleElimination,
+    GroupedDoubleEliminationResult,
+    GroupedDoubleEliminationRun,
+    form_groups,
+)
 from repro.formats.match import MatchOracle, NoisyStrengthOracle, RecordedMatch
-from repro.formats.round_robin import RoundRobin
-from repro.formats.single_elimination import SingleElimination
-from repro.formats.swiss import SwissSystem
-from repro.formats.double_elimination import DoubleElimination
-from repro.formats.barrage import Barrage
+from repro.formats.recipes import (
+    DEFAULT_FORMAT,
+    PLAYOFF_FORMATS,
+    TOURNAMENT_FORMAT_NAMES,
+    TournamentRecipe,
+    register_tournament_format,
+    tournament_format,
+    tournament_format_names,
+)
+from repro.formats.round_robin import RoundRobin, RoundRobinResult, RoundRobinRun
+from repro.formats.scheduler import (
+    Match,
+    PlayerPool,
+    Round,
+    ScheduledRun,
+    run_schedule,
+)
+from repro.formats.single_elimination import (
+    SingleElimination,
+    SingleEliminationResult,
+    SingleEliminationRun,
+)
+from repro.formats.swiss import (
+    StreakSwiss,
+    StreakSwissRun,
+    SwissResult,
+    SwissSystem,
+    SwissSystemRun,
+)
 
 __all__ = [
     "Barrage",
+    "BarrageResult",
+    "BarrageRun",
+    "DEFAULT_FORMAT",
     "DoubleElimination",
+    "DoubleEliminationResult",
+    "DoubleEliminationRun",
+    "GroupedDoubleElimination",
+    "GroupedDoubleEliminationResult",
+    "GroupedDoubleEliminationRun",
+    "Match",
     "MatchOracle",
     "NoisyStrengthOracle",
+    "PLAYOFF_FORMATS",
+    "PlayerPool",
     "RecordedMatch",
+    "Round",
     "RoundRobin",
+    "RoundRobinResult",
+    "RoundRobinRun",
+    "ScheduledRun",
     "SingleElimination",
+    "SingleEliminationResult",
+    "SingleEliminationRun",
+    "StreakSwiss",
+    "StreakSwissRun",
+    "SwissResult",
     "SwissSystem",
+    "SwissSystemRun",
+    "TOURNAMENT_FORMAT_NAMES",
+    "TournamentRecipe",
+    "form_groups",
+    "register_tournament_format",
+    "run_schedule",
+    "tournament_format",
+    "tournament_format_names",
 ]

@@ -8,18 +8,31 @@ With four qualifiers seeded 1-4 by prior score:
   becomes the second finalist.
 
 The loser of the top game gets one brief chance to recover, so "only the
-strongest ... progress to the final round".  Generalises to ``2k`` players
+strongest ... progress to the final round".  Generalises to larger fields
 by pairing the top half among themselves and the bottom half among
-themselves, then playing top-half losers against bottom-half winners.
+themselves, then playing top-half losers against bottom-half winners; odd
+halves hand their last seed a bye.  With ``repechage=False`` the barrage
+games are skipped — a plain knockout where the bottom-half survivor simply
+becomes the second finalist (the paper's "w/o barrage" ablation).
+
+Games 1 and 2 (and generally all games of a barrage stage round) are
+independent, so each :class:`Round` batches them for parallel execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.formats.match import MatchOracle
+from repro.formats.scheduler import (
+    Match,
+    Round,
+    RunLog,
+    run_schedule,
+    validated_players,
+)
 
 
 @dataclass(frozen=True)
@@ -31,90 +44,187 @@ class BarrageResult:
     games: int
 
 
-class Barrage:
-    """Seeded barrage stage producing exactly two finalists.
+class BarrageRun:
+    """State machine of one seeded barrage stage.
 
-    ``players`` must be ordered by seeding (best first) and have even
-    length >= 2.  For two players, both are finalists and no game is played
-    (the final itself decides).
+    ``players`` must be ordered by seeding (best first).  For two players,
+    both are finalists and no game is played (the final itself decides).
     """
 
-    def run(self, players: Sequence[int], oracle: MatchOracle) -> BarrageResult:
-        seeds = [int(p) for p in players]
-        if len(seeds) < 2:
-            raise ReproError("barrage needs at least two players")
-        if len(seeds) % 2 != 0:
-            raise ReproError(f"barrage needs an even field, got {len(seeds)}")
-        if len(set(seeds)) != len(seeds):
-            raise ReproError(f"duplicate players: {seeds}")
-        if len(seeds) == 2:
-            return BarrageResult(finalists=tuple(seeds), eliminated=(), games=0)
+    _STAGE_HALVES = "halves"
+    _STAGE_BARRAGE = "barrage"
+    _STAGE_REDUCE_SECOND = "reduce_second"
+    _STAGE_REDUCE_FIRST = "reduce_first"
+    _STAGE_DONE = "done"
 
-        half = len(seeds) // 2
-        top, bottom = seeds[:half], seeds[half:]
+    def __init__(self, players: Sequence[int], repechage: bool) -> None:
+        self.seeds = validated_players(players, minimum=2, what="barrage")
+        self.repechage = repechage
+        self.log = RunLog()
+        self.eliminated: List[int] = []
+        self.direct: List[int] = []         # final pool of the top half
+        self.top_losers: List[int] = []
+        self.bottom_winners: List[int] = []
+        self._first: Optional[int] = None
+        self._second: Optional[int] = None
+        self._pool: List[int] = []
+        self._reduce_byes: List[int] = []
+        self._barrage_byes: List[int] = []
+        if len(self.seeds) == 2:
+            self._first, self._second = self.seeds
+            self._stage = self._STAGE_DONE
+        else:
+            self._stage = self._STAGE_HALVES
 
-        # Top half: winners go straight to the final pool; losers get the
-        # barrage chance.
-        direct: List[int] = []
-        top_losers: List[int] = []
-        games = 0
-        for k in range(0, len(top) - len(top) % 2, 2):
-            match = oracle.play([top[k], top[k + 1]])
-            direct.append(match.winner)
-            top_losers.append(match.loser)
-            games += 1
-        if len(top) % 2 == 1:
-            top_losers.append(top[-1])
+    @property
+    def done(self) -> bool:
+        return self._stage == self._STAGE_DONE
 
-        # Bottom half: losers are out; winners earn the barrage games.
-        bottom_winners: List[int] = []
-        eliminated: List[int] = []
-        for k in range(0, len(bottom) - len(bottom) % 2, 2):
-            match = oracle.play([bottom[k], bottom[k + 1]])
-            bottom_winners.append(match.winner)
-            eliminated.append(match.loser)
-            games += 1
-        if len(bottom) % 2 == 1:
-            bottom_winners.append(bottom[-1])
+    def pairings(self) -> Optional[Round]:
+        if self._stage == self._STAGE_HALVES:
+            # The top half plays for direct final spots, the bottom half
+            # for barrage berths — all pairs independent, one round.  The
+            # split is computed once here; advance() reads the stash.
+            half = (len(self.seeds) + 1) // 2
+            top, bottom = self.seeds[:half], self.seeds[half:]
+            self._top_pairs = [
+                (top[k], top[k + 1])
+                for k in range(0, len(top) - len(top) % 2, 2)
+            ]
+            self._bottom_pairs = [
+                (bottom[k], bottom[k + 1])
+                for k in range(0, len(bottom) - len(bottom) % 2, 2)
+            ]
+            # Odd top seed drops to the barrage; odd bottom seed advances
+            # into the barrage berths unplayed.
+            self._top_bye = top[-1] if len(top) % 2 == 1 else None
+            self._bottom_bye = bottom[-1] if len(bottom) % 2 == 1 else None
+            byes = [b for b in (self._top_bye, self._bottom_bye)
+                    if b is not None]
+            return Round(
+                matches=tuple(
+                    Match(p) for p in self._top_pairs + self._bottom_pairs
+                ),
+                byes=tuple(byes),
+            )
+        if self._stage == self._STAGE_BARRAGE:
+            # The barrage proper: top-half losers vs bottom-half winners.
+            # Odd fields leave one berth unpaired; that player byes into
+            # the survivor pool instead of silently dropping out.
+            paired = min(len(self.top_losers), len(self.bottom_winners))
+            self._barrage_byes = (
+                self.top_losers[paired:] + self.bottom_winners[paired:]
+            )
+            return Round(
+                matches=tuple(
+                    Match((a, b))
+                    for a, b in zip(self.top_losers, self.bottom_winners)
+                ),
+                byes=tuple(self._barrage_byes),
+            )
+        if self._stage in (self._STAGE_REDUCE_SECOND, self._STAGE_REDUCE_FIRST):
+            pool = self._pool
+            self._reduce_byes = [pool[-1]] if len(pool) % 2 == 1 else []
+            return Round(
+                matches=tuple(
+                    Match((pool[k], pool[k + 1]))
+                    for k in range(0, len(pool) - len(pool) % 2, 2)
+                ),
+                byes=tuple(self._reduce_byes),
+            )
+        return None
 
-        # The barrage proper: top-half losers vs bottom-half winners.
-        barrage_survivors: List[int] = []
-        for a, b in zip(top_losers, bottom_winners):
-            match = oracle.play([a, b])
-            barrage_survivors.append(match.winner)
-            eliminated.append(match.loser)
-            games += 1
+    def advance(self, results) -> None:
+        self.log.book(results)
+        if self._stage == self._STAGE_HALVES:
+            matches = iter(results)
+            for _ in self._top_pairs:
+                match = next(matches)
+                self.direct.append(match.winner)
+                self.top_losers.append(match.loser)
+            for _ in self._bottom_pairs:
+                match = next(matches)
+                self.bottom_winners.append(match.winner)
+                self.eliminated.append(match.loser)
+            if self._bottom_bye is not None:
+                self.bottom_winners.append(self._bottom_bye)
+            if self.repechage:
+                # The odd top seed's bye drops them to the barrage games.
+                if self._top_bye is not None:
+                    self.top_losers.append(self._top_bye)
+                self._stage = self._STAGE_BARRAGE
+            else:
+                # Plain knockout: no barrage games exist, so the top-half
+                # *losers* are out, while an unplayed top bye advances into
+                # the second-finalist pool (a bye never eliminates).
+                self.eliminated.extend(self.top_losers)
+                pool = self.bottom_winners + (
+                    [self._top_bye] if self._top_bye is not None else []
+                )
+                self._begin_reduce(pool, self._STAGE_REDUCE_SECOND)
+            return
+        if self._stage == self._STAGE_BARRAGE:
+            survivors: List[int] = []
+            for match in results:
+                survivors.append(match.winner)
+                self.eliminated.append(match.loser)
+            survivors.extend(self._barrage_byes)
+            self._barrage_byes = []
+            self._begin_reduce(survivors, self._STAGE_REDUCE_SECOND)
+            return
+        # Reduction rounds: knock a pool down to a single player.
+        pool: List[int] = list(self._reduce_byes)
+        for match in results:
+            pool.append(match.winner)
+            self.eliminated.append(match.loser)
+        self._reduce_byes = []
+        self._continue_reduce(pool)
 
-        # Reduce the survivor pool to exactly one second finalist.
-        pool = barrage_survivors
-        while len(pool) > 1:
-            nxt: List[int] = []
-            if len(pool) % 2 == 1:
-                nxt.append(pool[-1])
-            for k in range(0, len(pool) - len(pool) % 2, 2):
-                match = oracle.play([pool[k], pool[k + 1]])
-                nxt.append(match.winner)
-                eliminated.append(match.loser)
-                games += 1
-            pool = nxt
-        second = pool[0]
+    def _begin_reduce(self, pool: List[int], stage: str) -> None:
+        self._stage = stage
+        self._continue_reduce(pool)
 
-        # Same for the direct qualifiers if the field was larger than four.
-        pool = direct
-        while len(pool) > 1:
-            nxt = []
-            if len(pool) % 2 == 1:
-                nxt.append(pool[-1])
-            for k in range(0, len(pool) - len(pool) % 2, 2):
-                match = oracle.play([pool[k], pool[k + 1]])
-                nxt.append(match.winner)
-                eliminated.append(match.loser)
-                games += 1
-            pool = nxt
-        first = pool[0]
+    def _continue_reduce(self, pool: List[int]) -> None:
+        # Legacy reduction order: byes first, then winners — preserved by
+        # seeding `pool` with the bye before appending match winners.
+        self._pool = pool
+        if len(pool) > 1:
+            return
+        settled = pool[0] if pool else None
+        if self._stage == self._STAGE_REDUCE_SECOND:
+            self._second = settled
+            self._begin_reduce(self.direct, self._STAGE_REDUCE_FIRST)
+        else:
+            self._first = settled
+            self._stage = self._STAGE_DONE
 
-        return BarrageResult(
-            finalists=(first, second),
-            eliminated=tuple(eliminated),
-            games=games,
+    def result(self) -> BarrageResult:
+        if not self.done:
+            raise ReproError("barrage stage is still being played")
+        finalists = tuple(
+            p for p in (self._first, self._second) if p is not None
         )
+        return BarrageResult(
+            finalists=finalists,
+            eliminated=tuple(self.eliminated),
+            games=self.log.games,
+        )
+
+
+class Barrage:
+    """Seeded barrage stage producing (up to) two finalists.
+
+    Args:
+        repechage: give the top-half losers their barrage second chance
+            (the format's namesake); ``False`` degrades to a knockout.
+    """
+
+    def __init__(self, repechage: bool = True) -> None:
+        self.repechage = repechage
+
+    def schedule(self, players: Sequence[int]) -> BarrageRun:
+        return BarrageRun(players, self.repechage)
+
+    def run(self, players: Sequence[int], oracle: MatchOracle) -> BarrageResult:
+        """Play a whole barrage stage through a match oracle."""
+        return run_schedule(self.schedule(players), oracle).result()

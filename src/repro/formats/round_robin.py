@@ -3,15 +3,28 @@
 The most expensive and (for enough repetitions) most accurate format; the
 tournament-design literature uses it as the accuracy ceiling against which
 cheaper formats are measured.  ``O(n^2)`` games for ``n`` players.
+
+The scheduler emits one pair per round, in the classic nested order — a
+player meets every later entrant before the next player starts.  Pairs are
+sequential rather than batched because nearly every player appears in
+nearly every slice of the schedule; there is no larger set of simultaneous
+games that would not double-book someone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.formats.match import MatchOracle
+from repro.formats.scheduler import (
+    Match,
+    Round,
+    RunLog,
+    run_schedule,
+    validated_players,
+)
 
 
 @dataclass(frozen=True)
@@ -27,6 +40,57 @@ class RoundRobinResult:
         return self.standings[0]
 
 
+class RoundRobinRun:
+    """State machine: all pairs, ``rounds`` times over."""
+
+    def __init__(self, players: Sequence[int], repetitions: int) -> None:
+        self.ids = validated_players(players, minimum=2, what="round-robin")
+        self.wins: Dict[int, int] = {p: 0 for p in self.ids}
+        self.head_to_head: Dict[Tuple[int, int], int] = {}
+        self.log = RunLog()
+        self.repetitions = repetitions
+        self._pairs = [
+            (a, b)
+            for _ in range(repetitions)
+            for i, a in enumerate(self.ids)
+            for b in self.ids[i + 1:]
+        ]
+        self._cursor = 0
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self._pairs)
+
+    def pairings(self) -> Optional[Round]:
+        if self.done:
+            return None
+        return Round(matches=(Match(self._pairs[self._cursor]),))
+
+    def advance(self, results) -> None:
+        (match,) = results
+        a, b = self._pairs[self._cursor]
+        self.wins[match.winner] += 1
+        self.head_to_head[(a, b)] = match.winner
+        self._cursor += 1
+        self.log.book(results)
+
+    def result(self) -> RoundRobinResult:
+        standings: List[int] = sorted(self.ids, key=lambda p: (-self.wins[p], p))
+        # Adjacent single-round ties defer to head-to-head where available.
+        if self.repetitions == 1:
+            for k in range(len(standings) - 1):
+                a, b = standings[k], standings[k + 1]
+                if self.wins[a] == self.wins[b]:
+                    h2h = self.head_to_head.get(
+                        (a, b), self.head_to_head.get((b, a))
+                    )
+                    if h2h == b:
+                        standings[k], standings[k + 1] = b, a
+        return RoundRobinResult(
+            standings=tuple(standings), wins=self.wins, games=self.log.games
+        )
+
+
 class RoundRobin:
     """All-pairs schedule, standings by win count.
 
@@ -39,36 +103,9 @@ class RoundRobin:
             raise ReproError(f"rounds must be >= 1, got {rounds}")
         self.rounds = rounds
 
+    def schedule(self, players: Sequence[int]) -> RoundRobinRun:
+        return RoundRobinRun(players, self.rounds)
+
     def run(self, players: Sequence[int], oracle: MatchOracle) -> RoundRobinResult:
-        ids = [int(p) for p in players]
-        if len(ids) < 2:
-            raise ReproError("round-robin needs at least two players")
-        if len(set(ids)) != len(ids):
-            raise ReproError(f"duplicate players: {ids}")
-
-        wins = {p: 0 for p in ids}
-        head_to_head: Dict[Tuple[int, int], int] = {}
-        games = 0
-        for _ in range(self.rounds):
-            for i, a in enumerate(ids):
-                for b in ids[i + 1:]:
-                    match = oracle.play([a, b])
-                    wins[match.winner] += 1
-                    head_to_head[(a, b)] = match.winner
-                    games += 1
-
-        def sort_key(p: int):
-            return (-wins[p], p)
-
-        standings: List[int] = sorted(ids, key=sort_key)
-        # Adjacent single-round ties defer to head-to-head where available.
-        if self.rounds == 1:
-            for k in range(len(standings) - 1):
-                a, b = standings[k], standings[k + 1]
-                if wins[a] == wins[b]:
-                    h2h = head_to_head.get((a, b), head_to_head.get((b, a)))
-                    if h2h == b:
-                        standings[k], standings[k + 1] = b, a
-        return RoundRobinResult(
-            standings=tuple(standings), wins=wins, games=games
-        )
+        """Play a whole round-robin through a match oracle."""
+        return run_schedule(self.schedule(players), oracle).result()

@@ -3,16 +3,24 @@
 The cheapest knockout format (``n - 1`` games for ``n`` players) and the
 most fragile under noise — one unlucky game eliminates the strongest player.
 Included as the baseline that motivates double elimination (Sec. 3.4's
-"one bad day" argument).
+"one bad day" argument), and available as a playoff format recipe for the
+unified tournament engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
-from repro.formats.match import MatchOracle, RecordedMatch
+from repro.formats.match import MatchOracle
+from repro.formats.scheduler import (
+    Match,
+    Round,
+    RunLog,
+    pair_off,
+    run_schedule,
+    validated_players,
+)
 
 
 @dataclass(frozen=True)
@@ -25,33 +33,60 @@ class SingleEliminationResult:
     byes: int
 
 
+class SingleEliminationRun:
+    """State machine: pair off survivors each round; odd player out byes."""
+
+    def __init__(self, players: Sequence[int]) -> None:
+        self.alive: List[int] = validated_players(
+            players, minimum=1, what="single elimination"
+        )
+        self.log = RunLog()
+        self.byes = 0
+        self._round_fields: List[Tuple[int, ...]] = []
+        self._pending_bye: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return len(self.alive) <= 1
+
+    def pairings(self) -> Optional[Round]:
+        if self.done:
+            return None
+        self._round_fields.append(tuple(self.alive))
+        pairs, bye = pair_off(self.alive)
+        self._pending_bye = bye
+        return Round(
+            matches=tuple(Match(pair) for pair in pairs),
+            byes=(bye,) if bye is not None else (),
+        )
+
+    def advance(self, results) -> None:
+        survivors: List[int] = []
+        if self._pending_bye is not None:
+            survivors.append(self._pending_bye)  # bye for the odd one out
+            self.byes += 1
+            self._pending_bye = None
+        survivors.extend(match.winner for match in results)
+        self.alive = survivors
+        self.log.book(results)
+
+    def result(self) -> SingleEliminationResult:
+        return SingleEliminationResult(
+            winner=self.alive[0],
+            rounds=tuple(self._round_fields) + (tuple(self.alive),),
+            games=self.log.games,
+            byes=self.byes,
+        )
+
+
 class SingleElimination:
-    """Pair off survivors each round; odd player out gets a bye."""
+    """The stateless format recipe; ``schedule`` opens one bracket run."""
+
+    def schedule(self, players: Sequence[int]) -> SingleEliminationRun:
+        return SingleEliminationRun(players)
 
     def run(
         self, players: Sequence[int], oracle: MatchOracle
     ) -> SingleEliminationResult:
-        alive = [int(p) for p in players]
-        if len(alive) < 1:
-            raise ReproError("single elimination needs at least one player")
-        if len(set(alive)) != len(alive):
-            raise ReproError(f"duplicate players: {alive}")
-
-        rounds: List[Tuple[int, ...]] = []
-        games = 0
-        byes = 0
-        while len(alive) > 1:
-            rounds.append(tuple(alive))
-            survivors: List[int] = []
-            if len(alive) % 2 == 1:
-                survivors.append(alive[-1])  # bye for the odd one out
-                byes += 1
-            for k in range(0, len(alive) - len(alive) % 2, 2):
-                match: RecordedMatch = oracle.play([alive[k], alive[k + 1]])
-                survivors.append(match.winner)
-                games += 1
-            alive = survivors
-        rounds.append(tuple(alive))
-        return SingleEliminationResult(
-            winner=alive[0], rounds=tuple(rounds), games=games, byes=byes
-        )
+        """Play a whole bracket through a match oracle (reference executor)."""
+        return run_schedule(self.schedule(players), oracle).result()

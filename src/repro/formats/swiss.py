@@ -1,24 +1,45 @@
-"""Swiss system: rounds of score-group pairings, no eliminations.
+"""Swiss playing styles: keep the strongest players meeting each other.
 
-Every round pairs players with (near-)equal running scores against each
-other; nobody is eliminated, and the standings after ``r ~ log2(n)`` rounds
-identify the strongest players with far fewer games than a round-robin.
-This is the format of DarwinGame's regional phase (Sec. 3.3): "the most
-promising players directly compete with each other".
+Two schedulers share this module:
 
-Pairing rule (standard Swiss with a simple rematch-avoidance pass): sort by
-score, walk down the list pairing each unpaired player with the highest
-unpaired opponent they have not met; if everyone remaining has been met,
-allow the rematch rather than leave players idle.
+* :class:`SwissSystem` — the textbook Swiss system of the tournament-design
+  literature: rounds of score-group *pairings*, nobody eliminated, and the
+  standings after ``r ~ log2(n)`` rounds identify the strongest players with
+  far fewer games than a round-robin.
+
+* :class:`StreakSwiss` — DarwinGame's regional variant (Sec. 3.3, Fig. 6):
+  rounds of *multi-player* games over a drawable player pool.  Round one
+  picks players at random; every later round fills half its seats with
+  players that have never played and half with previously scored players
+  selected probabilistically — a higher execution score means a higher
+  chance of being re-selected, so the most promising configurations keep
+  contending with each other (the Swiss property).  A run terminates when
+  one player has won consecutively "more than one time" (the champion),
+  when the pool of new players is exhausted, or when the round cap is hit.
+
+Both are pure schedulers over abstract player ids: they emit rounds and
+ingest results, and the same state machines are driven by the match-oracle
+executor (format studies) and by the cloud-game executor (the real tuner).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.errors import ReproError
 from repro.formats.match import MatchOracle
+from repro.formats.scheduler import (
+    Match,
+    PlayerPool,
+    Round,
+    RunLog,
+    run_schedule,
+    validated_players,
+)
 
 
 @dataclass(frozen=True)
@@ -35,49 +56,50 @@ class SwissResult:
         return self.standings[0]
 
 
-class SwissSystem:
-    """Score-group pairing for a fixed number of rounds.
+class SwissSystemRun:
+    """State machine of one Swiss-system tournament."""
 
-    Args:
-        rounds: number of Swiss rounds; ``None`` uses ``ceil(log2(n))``,
-            the conventional minimum for a unique leader.
-    """
+    def __init__(self, players: Sequence[int], n_rounds: int) -> None:
+        self.ids = validated_players(players, minimum=2, what="a Swiss tournament")
+        self.n_rounds = n_rounds
+        self.scores: Dict[int, float] = {p: 0.0 for p in self.ids}
+        self.met: Set[Tuple[int, int]] = set()
+        self.log = RunLog()
+        self._round_no = 0
+        self._pending_bye: Optional[int] = None
 
-    def __init__(self, rounds=None) -> None:
-        if rounds is not None and rounds < 1:
-            raise ReproError(f"rounds must be >= 1, got {rounds}")
-        self.rounds = rounds
+    @property
+    def done(self) -> bool:
+        return self._round_no >= self.n_rounds
 
-    def run(self, players: Sequence[int], oracle: MatchOracle) -> SwissResult:
-        ids = [int(p) for p in players]
-        if len(ids) < 2:
-            raise ReproError("a Swiss tournament needs at least two players")
-        if len(set(ids)) != len(ids):
-            raise ReproError(f"duplicate players: {ids}")
+    def pairings(self) -> Optional[Round]:
+        if self.done:
+            return None
+        pairs, bye = self._pair(self.ids, self.scores, self.met)
+        self._pending_bye = bye
+        return Round(
+            matches=tuple(Match(pair) for pair in pairs),
+            byes=(bye,) if bye is not None else (),
+        )
 
-        n_rounds = self.rounds
-        if n_rounds is None:
-            n_rounds = max(1, (len(ids) - 1).bit_length())
+    def advance(self, results) -> None:
+        if self._pending_bye is not None:
+            self.scores[self._pending_bye] += 1.0  # a bye scores like a win
+            self._pending_bye = None
+        for match in results:
+            self.scores[match.winner] += 1.0
+            a, b = match.players[0], match.players[-1]
+            self.met.add((min(a, b), max(a, b)))
+        self._round_no += 1
+        self.log.book(results)
 
-        scores: Dict[int, float] = {p: 0.0 for p in ids}
-        met: Set[Tuple[int, int]] = set()
-        games = 0
-        for _ in range(n_rounds):
-            pairs, bye = self._pair(ids, scores, met)
-            if bye is not None:
-                scores[bye] += 1.0  # a bye scores like a win
-            for a, b in pairs:
-                match = oracle.play([a, b])
-                scores[match.winner] += 1.0
-                met.add((min(a, b), max(a, b)))
-                games += 1
-
-        standings = sorted(ids, key=lambda p: (-scores[p], p))
+    def result(self) -> SwissResult:
+        standings = sorted(self.ids, key=lambda p: (-self.scores[p], p))
         return SwissResult(
             standings=tuple(standings),
-            scores=scores,
-            games=games,
-            rounds=n_rounds,
+            scores=self.scores,
+            games=self.log.games,
+            rounds=self.n_rounds,
         )
 
     @staticmethod
@@ -85,8 +107,14 @@ class SwissSystem:
         ids: List[int],
         scores: Dict[int, float],
         met: Set[Tuple[int, int]],
-    ) -> Tuple[List[Tuple[int, int]], int]:
-        """Pair by score groups with rematch avoidance; returns (pairs, bye)."""
+    ) -> Tuple[List[Tuple[int, int]], Optional[int]]:
+        """Pair by score groups with rematch avoidance; returns (pairs, bye).
+
+        Sort by score, walk down the list pairing each unpaired player with
+        the highest unpaired opponent they have not met; if everyone
+        remaining has been met, allow the rematch rather than leave players
+        idle.
+        """
         order = sorted(ids, key=lambda p: (-scores[p], p))
         unpaired = list(order)
         pairs: List[Tuple[int, int]] = []
@@ -102,3 +130,267 @@ class SwissSystem:
             pairs.append((a, unpaired.pop(pick)))
         bye = unpaired[0] if unpaired else None
         return pairs, bye
+
+
+class SwissSystem:
+    """Score-group pairing for a fixed number of rounds.
+
+    Args:
+        rounds: number of Swiss rounds; ``None`` uses ``ceil(log2(n))``,
+            the conventional minimum for a unique leader.
+    """
+
+    def __init__(self, rounds=None) -> None:
+        if rounds is not None and rounds < 1:
+            raise ReproError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+
+    def schedule(self, players: Sequence[int]) -> SwissSystemRun:
+        n_rounds = self.rounds
+        if n_rounds is None:
+            n_rounds = max(1, (len(list(players)) - 1).bit_length())
+        return SwissSystemRun(players, n_rounds)
+
+    def run(self, players: Sequence[int], oracle: MatchOracle) -> SwissResult:
+        """Play a whole Swiss tournament through a match oracle."""
+        return run_schedule(self.schedule(players), oracle).result()
+
+
+# Exponent sharpening score-proportional selection: strong players meet often.
+SELECTION_SHARPNESS = 4.0
+
+
+class StreakSwissRun:
+    """State machine of one DarwinGame-style Swiss pool.
+
+    One multi-player lineup per round.  The machine is oblivious to how its
+    rounds are simulated — the driver decides whether rounds from many pools
+    are batched together (regions in lockstep) or played one at a time.
+    """
+
+    def __init__(
+        self,
+        format_: "StreakSwiss",
+        pool: PlayerPool,
+        rng: np.random.Generator,
+        *,
+        scores: Callable[[Sequence[int]], np.ndarray],
+        on_assign: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.pool = pool
+        self.rng = rng
+        self.scores = scores
+        self.on_assign = on_assign
+        self.log = RunLog()
+        self.champion = -1
+        self.streak = 0
+        self.round_no = 0
+        self.done = False
+        # Ordered set of everyone who has played (and so carries a score):
+        # position map plus the matching list, maintained incrementally.
+        self._played: Dict[int, int] = {}
+        self._played_list: List[int] = []
+        self._assigned: set = set()
+        self._lineup: Optional[List[int]] = None
+        self.lone: Optional[int] = None
+        self._swiss = format_.swiss_style
+        self._win_streak = format_.win_streak
+
+        self.players_per_game = max(2, min(format_.players_per_game, pool.size))
+        if pool.size == 1:
+            # Degenerate single-player pool: the lone player advances unplayed.
+            self.lone = pool.start
+            self._notify_assigned(self.lone)
+            self.done = True
+            return
+
+        if self._swiss:
+            self._fresh: Optional[List[int]] = (
+                [int(i) for i in pool.sample(pool.size, rng, replace=False)]
+                if pool.size <= 4 * self.players_per_game else None
+            )
+            # Large pools draw new players lazily instead of materialising all.
+            self._drawn: set = set()
+            max_rounds = format_.max_rounds
+            if max_rounds is None:
+                newcomers = max(1, self.players_per_game // 2)
+                max_rounds = min(64, math.ceil(pool.size / newcomers) + 2)
+            self.max_rounds = max_rounds
+        else:
+            self.max_rounds = 1
+
+    # -- drawing newcomers -------------------------------------------------
+
+    def _notify_assigned(self, player: int) -> None:
+        if self.on_assign is not None:
+            self.on_assign(player)
+
+    def _draw_new(self, n: int) -> List[int]:
+        if self._fresh is not None:
+            out = self._fresh[:n]
+            del self._fresh[:n]
+            return [int(i) for i in out]
+        out: List[int] = []
+        attempts = 0
+        while len(out) < n and attempts < 20:
+            batch = self.pool.sample(max(2 * n, 8), self.rng)
+            for i in batch:
+                iv = int(i)
+                if iv not in self._drawn:
+                    self._drawn.add(iv)
+                    out.append(iv)
+                    if len(out) == n:
+                        break
+            attempts += 1
+        return out
+
+    def _select_veterans(self, n: int) -> List[int]:
+        """Pick ``n`` previously scored players, champion always included.
+
+        ``_played_list`` is the ordered list of scored players and
+        ``_played`` its index map, both maintained incrementally — so the
+        membership test is O(1) and the selection weights come from one
+        vectorised score gather instead of a per-player pool rebuild.
+        """
+        if n <= 0:
+            return []
+        members = self._played_list
+        champion_pos = self._played.get(self.champion)
+        chosen: List[int] = [self.champion] if champion_pos is not None else []
+        want = n - len(chosen)
+        if want > 0 and len(members) > len(chosen):
+            scores = self.scores(members)
+            weights = np.power(np.maximum(scores, 1e-6), SELECTION_SHARPNESS)
+            if champion_pos is not None:
+                weights[champion_pos] = 0.0
+            total = weights.sum()
+            if total > 0:
+                take = min(want, len(members) - len(chosen))
+                picks = self.rng.choice(
+                    len(members), size=take, replace=False, p=weights / total
+                )
+                chosen.extend(members[int(p)] for p in picks)
+        return chosen[:n]
+
+    # -- the round protocol ------------------------------------------------
+
+    def next_lineup(self) -> Optional[List[int]]:
+        """Lineup this pool wants to play now; ``None`` once terminated."""
+        if self.done:
+            return None
+        if not self._swiss:
+            lineup = [int(i) for i in self.pool.sample(
+                min(self.players_per_game, self.pool.size), self.rng,
+                replace=False,
+            )]
+        elif self.round_no >= self.max_rounds:
+            self.done = True
+            return None
+        elif self.round_no == 0:
+            lineup = self._draw_new(self.players_per_game)
+        else:
+            n_new = self.players_per_game // 2
+            newcomers = self._draw_new(n_new)
+            veterans = self._select_veterans(
+                self.players_per_game - len(newcomers)
+            )
+            lineup = veterans + newcomers
+        lineup = list(dict.fromkeys(lineup))
+        if len(lineup) < 2:
+            self.done = True
+            return None
+        for idx in lineup:
+            if idx not in self._assigned:
+                self._assigned.add(idx)
+                self._notify_assigned(idx)
+        self._lineup = lineup
+        return lineup
+
+    def pairings(self) -> Optional[Round]:
+        lineup = self.next_lineup()
+        if lineup is None:
+            return None
+        return Round(matches=(Match(tuple(lineup)),))
+
+    def advance(self, results) -> None:
+        """Book one played round (a single multi-player match) back in."""
+        (match,) = results
+        self.log.book(results)
+        self._observe(match.winner)
+
+    @property
+    def games(self) -> int:
+        """Games played so far (one multi-player game per round)."""
+        return self.log.games
+
+    def _observe(self, winner: int) -> None:
+        """Fold the played lineup's winner into the streak state."""
+        played = self._played
+        for idx in self._lineup or ():
+            if idx not in played:
+                played[idx] = len(played)
+                self._played_list.append(idx)
+        self._lineup = None
+        self.round_no += 1
+
+        if not self._swiss:
+            self.champion = winner
+            self.done = True
+            return
+        if winner == self.champion:
+            self.streak += 1
+        else:
+            self.champion = winner
+            self.streak = 1
+        if self.streak >= self._win_streak:
+            self.done = True
+        elif self._fresh is not None and not self._fresh:
+            self.done = True
+
+    @property
+    def played_players(self) -> List[int]:
+        """Everyone who has played a game, in first-appearance order."""
+        return self._played_list
+
+
+class StreakSwiss:
+    """DarwinGame's regional playing style as a reusable format recipe.
+
+    Args:
+        players_per_game: seats per multi-player game (clamped to the pool).
+        win_streak: consecutive wins after which the champion is declared.
+        max_rounds: hard round cap; ``None`` derives one from the pool size.
+        swiss_style: with ``False``, a single random game decides the pool
+            (the paper's "w/o Swiss" ablation).
+    """
+
+    def __init__(
+        self,
+        *,
+        players_per_game: int,
+        win_streak: int,
+        max_rounds: Optional[int] = None,
+        swiss_style: bool = True,
+    ) -> None:
+        if players_per_game < 2:
+            raise ReproError(
+                f"players_per_game must be >= 2, got {players_per_game}"
+            )
+        if win_streak < 2:
+            raise ReproError(f"win_streak must be >= 2, got {win_streak}")
+        self.players_per_game = players_per_game
+        self.win_streak = win_streak
+        self.max_rounds = max_rounds
+        self.swiss_style = swiss_style
+
+    def schedule(
+        self,
+        pool: PlayerPool,
+        rng: np.random.Generator,
+        *,
+        scores: Callable[[Sequence[int]], np.ndarray],
+        on_assign: Optional[Callable[[int], None]] = None,
+    ) -> StreakSwissRun:
+        return StreakSwissRun(
+            self, pool, rng, scores=scores, on_assign=on_assign
+        )

@@ -218,9 +218,14 @@ class TestBarrage:
         assert result.finalists == (4, 7)
         assert result.games == 0
 
-    def test_rejects_odd_field(self):
-        with pytest.raises(ReproError):
-            Barrage().run([0, 1, 2], noiseless(np.arange(3.0)))
+    def test_odd_field_byes(self):
+        """Odd fields are handled with byes: the odd bottom seed advances
+        unplayed into the barrage (how a 3-player playoff works)."""
+        result = Barrage().run([0, 1, 2], noiseless([0.9, 0.8, 0.7]))
+        # Game 1: 0 beats 1; barrage: 1 (top loser) beats 2 (bottom bye).
+        assert result.games == 2
+        assert result.finalists == (0, 1)
+        assert result.eliminated == (2,)
 
     def test_barrage_gives_top_loser_second_chance(self):
         """The seed-1 player losing game 1 can still reach the final."""

@@ -1,0 +1,62 @@
+"""Golden seed-determinism: the refactored engine vs pre-refactor snapshots.
+
+The scheduler/executor refactor moved every pairing and bracket rule out of
+``repro.core`` into the shared ``repro.formats`` schedulers.  These tests
+pin the default-format engine to snapshots taken from the *pre-refactor*
+phase drivers: the same ``TuningResult`` (down to float bits, including the
+per-phase details) and the same core-hour ledger, for redis and lammps at
+test scale.  Regenerate only deliberately, via
+``scripts/make_golden_tournament.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps import make_application
+from repro.cloud.environment import CloudEnvironment
+from repro.cloud.vm import VMSpec
+from repro.core.config import DarwinGameConfig
+from repro.core.tournament import DarwinGame
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _roundtrip(value):
+    """Normalise through JSON, exactly as the snapshot was written.
+
+    JSON floats round-trip bit-for-bit (repr is the shortest exact form),
+    so this only converts tuples to lists / int-keys to strings — any
+    numeric difference is a real determinism break.
+    """
+    return json.loads(json.dumps(value))
+
+
+@pytest.mark.parametrize("app_name", ["redis", "lammps"])
+def test_default_format_matches_pre_refactor_snapshot(app_name):
+    path = GOLDEN_DIR / f"tournament_{app_name}_test.json"
+    golden = json.loads(path.read_text())
+
+    app = make_application(app_name, scale=golden["scale"])
+    env = CloudEnvironment(VMSpec.preset(golden["vm"]), seed=golden["env_seed"])
+    result = DarwinGame(
+        DarwinGameConfig(seed=golden["config_seed"])
+    ).tune(app, env)
+
+    want = golden["result"]
+    assert result.tuner_name == want["tuner_name"]
+    assert result.best_index == want["best_index"]
+    assert _roundtrip(list(result.best_values)) == want["best_values"]
+    assert result.evaluations == want["evaluations"]
+    # Bit-identical floats: no approx, no tolerance.
+    assert result.core_hours == want["core_hours"]
+    assert result.tuning_seconds == want["tuning_seconds"]
+    assert _roundtrip(result.details) == want["details"]
+
+    ledger = golden["ledger"]
+    assert _roundtrip(env.ledger.core_hours_by_label()) \
+        == ledger["core_hours_by_label"]
+    assert env.ledger.core_hours == ledger["core_hours"]
+    assert env.ledger.wall_hours == ledger["wall_hours"]
+    assert env.now == golden["env_now"]
