@@ -50,6 +50,11 @@ def _record(payload: dict) -> None:
     payload.setdefault("cache", "cold")
     line = json.dumps(payload, sort_keys=True)
     print(f"\n[perf] {line}")
+    # An all-skipped resume (0 campaigns in ~0 wall seconds) measures
+    # nothing — its throughput is 0.0 by definition, and appending it would
+    # poison trajectory comparisons.  Print it, don't record it.
+    if payload.get("campaigns", 0) == 0 or payload.get("wall_seconds", 0) <= 0:
+        return
     out = os.environ.get("BENCH_JSON")
     if out:
         with open(out, "a", encoding="utf-8") as fh:
@@ -74,6 +79,7 @@ def _sweep_row(report, *, cache: str, scenario: str = "steady",
         "scenario": scenario,
         "format": fmt,
         "campaigns": report.executed,
+        "retries": report.retries,
         "wall_seconds": round(report.wall_seconds, 3),
         "campaigns_per_minute": round(report.campaigns_per_minute, 1),
         "python": platform.python_version(),

@@ -20,18 +20,23 @@ or from the shell: ``python -m repro sweep --apps redis,lammps --seeds 0,1,2
 --scale test --jobs 4 --store sweep.jsonl``.
 """
 
+from repro.campaigns.dispatch import Dispatcher, TaskLedger, ledger_path_for
 from repro.campaigns.report import (
+    FailureRow,
+    FailureSummary,
     FormatRow,
     FormatSummary,
     ScenarioRow,
     ScenarioSummary,
     SweepRow,
     SweepSummary,
+    failure_table,
     format_table,
     scenario_table,
     summarise,
     summarise_by_format,
     summarise_by_scenario,
+    summarise_failures,
     summary_table,
 )
 from repro.campaigns.runner import (
@@ -51,6 +56,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStore",
+    "Dispatcher",
+    "FailureRow",
+    "FailureSummary",
     "FormatRow",
     "FormatSummary",
     "ScenarioRow",
@@ -59,15 +67,19 @@ __all__ = [
     "SweepReport",
     "SweepRow",
     "SweepSummary",
+    "TaskLedger",
     "cached_application",
     "default_jobs",
     "execute_campaign",
+    "failure_table",
     "format_table",
+    "ledger_path_for",
     "parallel_map",
     "repeat_specs",
     "scenario_table",
     "summarise",
     "summarise_by_format",
     "summarise_by_scenario",
+    "summarise_failures",
     "summary_table",
 ]

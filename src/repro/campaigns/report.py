@@ -445,6 +445,136 @@ def scenario_table(summary: ScenarioSummary, *, title: str = "by scenario") -> s
     )
 
 
+@dataclass(frozen=True)
+class FailureRow:
+    """One failed campaign, as the debugging view shows it.
+
+    ``retries`` is the re-executions the dispatcher granted before giving
+    up; ``quarantined`` marks campaigns that burned their whole retry
+    budget (errors prefixed ``RetryExhausted:``) rather than failing once
+    under ``max_retries=0``-style policies.
+    """
+
+    campaign_id: str
+    app: str
+    vm: str
+    strategy: str
+    attempts: int
+    retries: int
+    quarantined: bool
+    error: str
+    traceback: str
+
+
+@dataclass(frozen=True)
+class FailureSummary:
+    """The sweep's failure/retry view — what went wrong and how hard.
+
+    ``total_retries`` counts re-executions across *all* records, including
+    campaigns that recovered and finished ``"done"`` — a chaos run with
+    every campaign recovered shows zero failures but non-zero retries.
+    """
+
+    rows: List[FailureRow]
+    total: int
+    done: int
+    failed: int
+    retried: int
+    total_retries: int
+
+    def to_payload(self) -> dict:
+        """Deterministic plain-JSON form (rows sorted by campaign ID)."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "retried": self.retried,
+            "total_retries": self.total_retries,
+            "rows": [asdict(r) for r in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+
+def summarise_failures(records: Sequence[CampaignRecord]) -> FailureSummary:
+    """The failure/retry view: one row per failed campaign, sorted by ID.
+
+    The companion to :func:`summarise` for debugging a degraded sweep —
+    which campaigns were quarantined, with what error, after how many
+    attempts, plus sweep-wide retry counts that include campaigns that
+    recovered.
+    """
+    from repro.errors import RetryExhausted
+
+    prefix = f"{RetryExhausted.__name__}:"
+    rows = [
+        FailureRow(
+            campaign_id=r.campaign_id,
+            app=r.spec.app,
+            vm=vm_display_name(r.spec.vm),
+            strategy=r.spec.strategy,
+            attempts=r.attempts,
+            retries=max(0, r.attempts - 1),
+            quarantined=r.error.startswith(prefix),
+            error=r.error,
+            traceback=r.traceback,
+        )
+        for r in sorted(records, key=lambda r: r.campaign_id)
+        if not r.ok
+    ]
+    n_done = sum(1 for r in records if r.ok)
+    return FailureSummary(
+        rows=rows,
+        total=len(records),
+        done=n_done,
+        failed=len(records) - n_done,
+        retried=sum(1 for r in records if r.attempts > 1),
+        total_retries=sum(max(0, r.attempts - 1) for r in records),
+    )
+
+
+def failure_table(summary: FailureSummary, *, title: str = "failures") -> str:
+    """Render the failure/retry view with the shared table formatter.
+
+    Tracebacks are too wide for a table; the last stored frame of each is
+    appended below it so the table stays scannable while the error stays
+    debuggable (full tracebacks live in the store).
+    """
+    from repro.experiments.reporting import render_table
+
+    rows = [
+        (
+            r.campaign_id,
+            r.app,
+            r.vm,
+            r.strategy,
+            r.attempts,
+            "yes" if r.quarantined else "no",
+            r.error if len(r.error) <= 72 else r.error[:69] + "...",
+        )
+        for r in summary.rows
+    ]
+    footer = (
+        f"{summary.failed}/{summary.total} campaigns failed, "
+        f"{summary.retried} retried ({summary.total_retries} total retries)"
+    )
+    tails = []
+    for r in summary.rows:
+        lines = [ln for ln in r.traceback.strip().splitlines() if ln.strip()]
+        if lines:
+            tails.append(f"{r.campaign_id}: {lines[-1].strip()}")
+    rendered = render_table(
+        ["campaign", "app", "VM", "strategy", "attempts", "quarantined",
+         "error"],
+        rows,
+        title=title,
+    )
+    if tails:
+        rendered += "\n" + "\n".join(tails)
+    return rendered + "\n" + footer
+
+
 def summary_table(summary: SweepSummary, *, title: str = "sweep") -> str:
     """Render a summary with the shared experiment table formatter."""
     from repro.experiments.reporting import render_table

@@ -1,27 +1,43 @@
-"""Parallel campaign execution with failure isolation and resume.
+"""Parallel campaign execution with failure isolation, retry, and resume.
 
 The runner turns a list of :class:`~repro.campaigns.spec.CampaignSpec` into
 a list of :class:`~repro.campaigns.store.CampaignRecord`, optionally across
-a ``multiprocessing`` worker pool.  Three guarantees make it a drop-in
-replacement for the drivers' former hand-rolled loops:
+a fleet of worker processes.  Four guarantees make it a drop-in replacement
+for the drivers' former hand-rolled loops:
 
 * **Determinism** — a campaign's outcome is a pure function of its spec
   (every seed is a field), so ``jobs > 1`` reproduces serial results bit
-  for bit, in any execution order.
+  for bit, in any execution order — and retried attempts reproduce the
+  attempt they replace.
 * **Failure isolation** — a crashing campaign yields a ``"failed"`` record
-  (exception summary attached) instead of killing the sweep.
+  (exception summary plus truncated traceback attached) instead of killing
+  the sweep.
+* **Fault tolerance** — parallel sweeps run on the lease/heartbeat
+  dispatcher (:mod:`repro.campaigns.dispatch`): a hard-killed worker's
+  campaigns are reclaimed and retried with exponential backoff, hung
+  campaigns are killed at ``task_timeout``, and a campaign that exhausts
+  its ``max_retries`` budget is quarantined as ``"failed"`` so the sweep
+  *completes*.  Inline execution (``jobs=1``) applies the same retry
+  policy without a pool.
 * **Resume** — with a :class:`~repro.campaigns.store.CampaignStore`
   attached, every finished campaign is checkpointed immediately and specs
   whose IDs are already stored as done are skipped, so an interrupted
   sweep continues where it stopped.
+
+Chaos testing rides the same machinery: install a seeded
+:class:`repro.faults.FaultPlan` (``fault_plan=`` here, ``--inject-faults``
+on the CLI) and chosen attempts crash/hang/fail deterministically — the
+converged store must match a fault-free run minus attempt metadata.
 """
 
 from __future__ import annotations
 
 import contextlib
-import multiprocessing
 import os
 import time
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -33,6 +49,14 @@ from repro.caching import (
     process_surface_cache,
     set_process_surface_cache,
 )
+from repro.campaigns.dispatch import (
+    Dispatcher,
+    TaskLedger,
+    _pool_context,
+    ledger_path_for,
+    quarantine_record,
+    worker_lost_message,
+)
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import (
     STATUS_DONE,
@@ -40,7 +64,17 @@ from repro.campaigns.store import (
     CampaignRecord,
     CampaignStore,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, RetryExhausted, WorkerLost
+from repro.faults import FaultPlan, active_fault_plan, maybe_inject, set_active_fault_plan
+
+#: How many frames of a failed campaign's traceback are kept (the last —
+#: i.e. innermost — ones; the useful end for debugging a sweep without
+#: storing megabytes of text).
+TRACEBACK_FRAMES = 20
+
+#: How many times a store append is tried before the failure propagates
+#: (checkpoint I/O blips — and injected store faults — are transient).
+STORE_APPEND_ATTEMPTS = 3
 
 
 def cached_application(name: str, scale):
@@ -58,25 +92,8 @@ def cached_application(name: str, scale):
     return process_app_cache().get(name, scale)
 
 
-def _pool_context(start_method: Optional[str] = None):
-    """``fork`` where the platform offers it (cheap workers), else spawn.
-
-    ``start_method`` forces a specific method (the spawn path is what
-    non-fork platforms get; tests pin it to cover that fallback).
-    """
-    methods = multiprocessing.get_all_start_methods()
-    if start_method is not None:
-        if start_method not in methods:
-            raise ReproError(
-                f"start method {start_method!r} not available; "
-                f"this platform offers {methods}"
-            )
-        return multiprocessing.get_context(start_method)
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 def _worker_init(cache_dir: Optional[str], app_keys: Sequence[Tuple[str, object]]):
-    """Pool initializer: workers start hot instead of rebuilding per task.
+    """Worker initializer: workers start hot instead of rebuilding per task.
 
     Builds the sweep's applications into the worker's in-memory tier up
     front and — when the sweep has a surface cache — loads their persisted
@@ -97,14 +114,33 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
-def execute_campaign(spec: CampaignSpec) -> CampaignRecord:
-    """Run one campaign to its terminal record; never raises.
+def _truncated_traceback(exc: BaseException) -> str:
+    """The last :data:`TRACEBACK_FRAMES` frames of ``exc``'s traceback.
 
-    This is the single choke point every sweep goes through: build the
-    application, run the evaluation protocol, wrap the outcome.  Exceptions
-    become ``"failed"`` records so one bad cell cannot take down a fleet.
+    A negative ``limit`` keeps the *innermost* frames — the ones that name
+    the failing line — which is what debugging a stored sweep needs.
+    """
+    return "".join(
+        traceback_module.format_exception(
+            type(exc), exc, exc.__traceback__, limit=-TRACEBACK_FRAMES
+        )
+    )
+
+
+def execute_campaign(spec: CampaignSpec, attempt: int = 1) -> CampaignRecord:
+    """Run one campaign attempt to its terminal record; never raises.
+
+    This is the single choke point every sweep goes through: consult the
+    fault plan (chaos runs), build the application, run the evaluation
+    protocol, wrap the outcome.  Exceptions become ``"failed"`` records —
+    with the exception summary and a truncated traceback attached — so one
+    bad cell cannot take down a fleet.  ``attempt`` (1-based) is the
+    dispatcher's retry counter; it selects which injected fault fires and
+    is stamped on the record, and nothing else depends on it — an attempt's
+    *result* is a pure function of the spec.
     """
     try:
+        maybe_inject(spec.campaign_id, attempt)
         from repro.campaigns.spec import vm_from_field
         from repro.experiments.protocol import run_strategy
 
@@ -128,12 +164,15 @@ def execute_campaign(spec: CampaignSpec) -> CampaignRecord:
             tuning_seconds=run.tuning_seconds,
             evaluation=run.evaluation,
             result=run.tuning_result,
+            attempts=attempt,
         )
     except Exception as exc:  # noqa: BLE001 - isolation is the contract
         return CampaignRecord(
             spec=spec,
             status=STATUS_FAILED,
             error=f"{type(exc).__name__}: {exc}",
+            traceback=_truncated_traceback(exc),
+            attempts=attempt,
         )
 
 
@@ -148,6 +187,8 @@ class SweepReport:
 
     ``records`` is aligned with the submitted specs (input order), mixing
     freshly executed campaigns with ones replayed from the store.
+    ``retries`` counts re-executions beyond each campaign's first attempt
+    (0 on a fault-free sweep).
     """
 
     records: List[CampaignRecord]
@@ -155,6 +196,7 @@ class SweepReport:
     skipped: int
     wall_seconds: float
     jobs: int
+    retries: int = 0
 
     @property
     def failures(self) -> List[CampaignRecord]:
@@ -162,9 +204,13 @@ class SweepReport:
 
     @property
     def campaigns_per_minute(self) -> float:
-        """Executed-campaign throughput (resume skips excluded)."""
+        """Executed-campaign throughput (resume skips excluded).
+
+        ``0.0`` when no wall time elapsed (e.g. an all-skipped resume) —
+        a zero, not an ``inf``, so reports and BENCH rows stay finite.
+        """
         if self.wall_seconds <= 0.0:
-            return float("inf")
+            return 0.0
         return 60.0 * self.executed / self.wall_seconds
 
     def raise_on_failure(self) -> "SweepReport":
@@ -173,9 +219,13 @@ class SweepReport:
             summary = "; ".join(
                 f"{r.campaign_id}: {r.error}" for r in self.failures[:5]
             )
-            raise ReproError(
-                f"{len(self.failures)} campaign(s) failed — {summary}"
-            )
+            message = f"{len(self.failures)} campaign(s) failed — {summary}"
+            if all(
+                r.error.startswith(RetryExhausted.__name__)
+                for r in self.failures
+            ):
+                raise RetryExhausted(message)
+            raise ReproError(message)
         return self
 
     def strategy_runs(self) -> list:
@@ -195,7 +245,8 @@ class CampaignRunner:
         store: optional checkpoint store — enables skip-done resume and
             per-campaign durability.  The runner holds the store's advisory
             lock while executing, so two concurrent sweeps cannot silently
-            interleave appends into one file.
+            interleave appends into one file.  Parallel sweeps journal
+            their lease ledger to a ``.ledger`` sidecar next to it.
         progress: optional callback ``(finished_count, total, record)``
             invoked as campaigns complete (store replays excluded).
         cache_dir: optional surface-cache directory.  Before executing, the
@@ -203,7 +254,22 @@ class CampaignRunner:
             missing ones computed and persisted) and every worker process
             prewarms from it, so campaigns start with hot surface tables.
         start_method: force a multiprocessing start method (``"fork"`` /
-            ``"spawn"``); default picks what :func:`_pool_context` picks.
+            ``"spawn"``); default picks what
+            :func:`repro.campaigns.dispatch._pool_context` picks.
+        max_retries: re-executions granted after a campaign's first failed
+            attempt (crash, hang, or ordinary exception); past the budget
+            the campaign is quarantined as ``"failed"`` and the sweep goes
+            on without it.
+        backoff: base of the exponential retry delay — retry *k* waits
+            ``backoff * 2**(k-1)`` seconds.
+        task_timeout: seconds a leased campaign may run before its worker
+            is presumed hung and killed (``None``/``0`` disables; only
+            enforced on the parallel path — inline there is no second
+            process to do the killing).
+        heartbeat_interval: how often dispatcher workers report liveness.
+        fault_plan: optional :class:`repro.faults.FaultPlan` injecting
+            deterministic chaos into every attempt (installed inline and in
+            every worker; restored afterwards).
     """
 
     def __init__(
@@ -213,14 +279,28 @@ class CampaignRunner:
         progress: Optional[ProgressFn] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         start_method: Optional[str] = None,
+        max_retries: int = 2,
+        backoff: float = 0.1,
+        task_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.5,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
+        if max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0:
+            raise ReproError(f"backoff must be >= 0, got {backoff}")
         self.jobs = jobs
         self.store = store
         self.progress = progress
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.start_method = start_method
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.fault_plan = fault_plan
 
     def run(self, specs: Iterable[CampaignSpec], *, grid=None) -> SweepReport:
         """Execute every spec (or recall it from the store); see class docs.
@@ -244,7 +324,12 @@ class CampaignRunner:
             else contextlib.nullcontext()
         )
         previous_surface_cache = process_surface_cache()
+        previous_plan = active_fault_plan()
+        retries = 0
         try:
+            # The plan must be live in this process for inline execution and
+            # parent-side store faults; dispatcher workers get their own copy.
+            set_active_fault_plan(self.fault_plan)
             with guard:
                 results: Dict[int, CampaignRecord] = {}
                 pending: List[Tuple[int, CampaignSpec]] = []
@@ -270,11 +355,13 @@ class CampaignRunner:
                 for index, record in self._execute(pending):
                     results[index] = record
                     finished += 1
+                    retries += max(0, record.attempts - 1)
                     if self.store is not None:
-                        self.store.append(record)
+                        self._append_with_retry(record)
                     if self.progress is not None:
                         self.progress(finished, total, record)
         finally:
+            set_active_fault_plan(previous_plan)
             # _warm_cache points the process at this sweep's surface cache;
             # a later cacheless run in the same process must not inherit it.
             if self.cache_dir is not None:
@@ -286,6 +373,7 @@ class CampaignRunner:
             skipped=skipped,
             wall_seconds=time.perf_counter() - t0,
             jobs=self.jobs,
+            retries=retries,
         )
 
     def _warm_cache(self, pending_specs: Sequence[CampaignSpec]) -> None:
@@ -302,26 +390,86 @@ class CampaignRunner:
             builder=lambda name, scale: process_app_cache().get(name, scale),
         )
 
+    def _append_with_retry(self, record: CampaignRecord) -> None:
+        """Checkpoint one record, riding out transient append failures.
+
+        The injected store-fault stream fires here (in the parent, where
+        checkpointing happens); real-world ``OSError`` blips get the same
+        treatment.  Persistent failure propagates — losing checkpoints
+        silently would break the resume contract.
+        """
+        plan = self.fault_plan
+        for append_attempt in range(1, STORE_APPEND_ATTEMPTS + 1):
+            try:
+                if plan is not None and plan.store_fault(
+                    record.campaign_id, append_attempt
+                ):
+                    from repro.errors import FaultInjected
+
+                    raise FaultInjected(
+                        f"injected store-append failure (campaign "
+                        f"{record.campaign_id}, append attempt {append_attempt})"
+                    )
+                self.store.append(record)
+                return
+            except (OSError, ReproError):
+                if append_attempt == STORE_APPEND_ATTEMPTS:
+                    raise
+                time.sleep(self.backoff * append_attempt)
+
     def _execute(self, pending: Sequence[Tuple[int, CampaignSpec]]):
         if not pending:
             return
         if self.jobs == 1 or len(pending) == 1:
-            for item in pending:
-                yield _execute_indexed(item)
+            yield from self._execute_inline(pending)
             return
-        ctx = _pool_context(self.start_method)
+        yield from self._execute_dispatched(pending)
+
+    def _execute_inline(self, pending: Sequence[Tuple[int, CampaignSpec]]):
+        """No-pool execution with the same retry/quarantine policy.
+
+        Process-killing faults degrade to raised exceptions inline (see
+        :mod:`repro.faults`), so the convergence contract — and the stored
+        bytes minus attempt metadata — are identical to the dispatched
+        path.
+        """
+        for index, spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                record = execute_campaign(spec, attempt=attempt)
+                if record.ok:
+                    yield index, record
+                    break
+                if attempt > self.max_retries:
+                    yield index, quarantine_record(record)
+                    break
+                if self.backoff > 0:
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    def _execute_dispatched(self, pending: Sequence[Tuple[int, CampaignSpec]]):
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
         app_keys = grid_app_pairs([spec for _, spec in pending])
-        with ctx.Pool(
-            processes=min(self.jobs, len(pending)),
-            initializer=_worker_init,
-            initargs=(cache_dir, app_keys),
-        ) as pool:
-            # chunksize=1: campaigns are coarse-grained, balance beats batching.
-            for index, record in pool.imap_unordered(
-                _execute_indexed, pending, chunksize=1
-            ):
-                yield index, record
+        ledger = TaskLedger(
+            journal_path=(
+                ledger_path_for(self.store.path)
+                if self.store is not None
+                else None
+            ),
+            max_retries=self.max_retries,
+            backoff=self.backoff,
+        )
+        dispatcher = Dispatcher(
+            min(self.jobs, len(pending)),
+            ledger,
+            task_timeout=self.task_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            start_method=self.start_method,
+            cache_dir=cache_dir,
+            app_keys=app_keys,
+            fault_plan=self.fault_plan,
+        )
+        yield from dispatcher.run(pending)
 
 
 def parallel_map(
@@ -329,19 +477,34 @@ def parallel_map(
     items: Sequence,
     *,
     jobs: int = 1,
+    start_method: Optional[str] = None,
 ) -> list:
     """Order-preserving map over a worker pool (``fn`` must be picklable).
 
     The generic sibling of :class:`CampaignRunner` for grid-shaped work
     that is not a tuning campaign (Table 1 space construction, format-power
     trial chunks).  Unlike campaigns, exceptions propagate — these jobs are
-    cheap to re-run and a hole would corrupt the aggregate.
+    cheap to re-run and a hole would corrupt the aggregate.  A worker that
+    dies without reporting (hard kill, OOM) raises
+    :class:`~repro.errors.WorkerLost` with the dispatcher's diagnosis
+    instead of the pool's bare ``BrokenProcessPool``.
     """
     items = list(items)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    ctx = _pool_context()
-    with ctx.Pool(processes=min(jobs, len(items))) as pool:
-        return pool.map(fn, items, chunksize=1)
+    ctx = _pool_context(start_method)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), mp_context=ctx
+    ) as pool:
+        try:
+            return list(pool.map(fn, items, chunksize=1))
+        except BrokenProcessPool:
+            raise WorkerLost(
+                worker_lost_message(
+                    "during parallel_map; the batch is cheap to re-run — "
+                    "retry it (and check dmesg for the OOM killer if it "
+                    "recurs)"
+                )
+            ) from None

@@ -63,8 +63,12 @@ class CampaignRecord:
     """Terminal outcome of one campaign, as stored.
 
     ``status`` is ``"done"`` or ``"failed"``; a failed campaign carries the
-    exception summary in ``error`` and ``None`` results — one crash never
-    loses the rest of the sweep.
+    exception summary in ``error`` plus a truncated ``traceback`` (the last
+    ~20 frames — enough to debug a sweep without shipping megabytes of
+    text) and ``None`` results — one crash never loses the rest of the
+    sweep.  ``attempts`` counts dispatcher executions including retries; a
+    record that needed no retry stores ``1``, so fault-free sweeps stay
+    byte-identical run to run.
     """
 
     spec: CampaignSpec
@@ -75,6 +79,8 @@ class CampaignRecord:
     evaluation: Optional[ChoiceEvaluation] = None
     result: Optional[TuningResult] = None
     error: str = ""
+    traceback: str = ""
+    attempts: int = 1
 
     @property
     def campaign_id(self) -> str:
@@ -135,8 +141,27 @@ class CampaignRecord:
                 ),
                 "result": asdict(self.result) if self.result is not None else None,
                 "error": self.error,
+                "traceback": self.traceback,
+                "attempts": self.attempts,
             }
         )
+
+    #: Payload keys that describe *how* a record was obtained rather than
+    #: what the campaign computed.  A chaos run that converges must equal a
+    #: fault-free run outside exactly this set.
+    ATTEMPT_METADATA = ("attempts", "traceback")
+
+    def stable_payload(self) -> dict:
+        """:meth:`to_payload` minus attempt metadata.
+
+        The comparison form for fault-tolerance checks: a sweep whose
+        workers were crashed, hung, or transiently failed — but which
+        converged — must have the same stable payloads as a fault-free run.
+        """
+        payload = self.to_payload()
+        for key in self.ATTEMPT_METADATA:
+            payload.pop(key, None)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CampaignRecord":
@@ -159,6 +184,8 @@ class CampaignRecord:
                 else None
             ),
             error=payload.get("error", ""),
+            traceback=payload.get("traceback", ""),
+            attempts=int(payload.get("attempts", 1)),
         )
 
 

@@ -31,14 +31,18 @@ from repro.campaigns import (
     CampaignGrid,
     CampaignRunner,
     CampaignStore,
+    failure_table,
     format_table,
     scenario_table,
     summarise,
     summarise_by_format,
     summarise_by_scenario,
+    summarise_failures,
     summary_table,
 )
 from repro.cloud.vm import PRESETS
+from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.experiments import (
     STRATEGY_NAMES,
     render_table,
@@ -188,17 +192,33 @@ def _progress_printer(quiet: bool):
     return report
 
 
+def _fault_plan_from_args(args: argparse.Namespace):
+    """Parse ``--inject-faults`` (empty = no chaos); raises ReproError."""
+    text = getattr(args, "inject_faults", "")
+    return FaultPlan.parse(text) if text else None
+
+
 def _run_sweep(grid: CampaignGrid, store: CampaignStore, jobs: int,
-               quiet: bool = False, cache_dir: str = "") -> int:
+               quiet: bool = False, cache_dir: str = "",
+               max_retries: int = 2, backoff: float = 0.1,
+               task_timeout: float = 0.0, fault_plan=None) -> int:
     runner = CampaignRunner(
         jobs=jobs, store=store, progress=_progress_printer(quiet),
         cache_dir=cache_dir or None,
+        max_retries=max_retries, backoff=backoff,
+        task_timeout=task_timeout or None, fault_plan=fault_plan,
     )
     # The runner writes the grid header itself, inside the store lock.
     report = runner.run(grid.specs(), grid=grid)
     print(summary_table(summarise(report.records), title=f"sweep {store.path}"))
+    if report.failures:
+        print(failure_table(
+            summarise_failures(report.records),
+            title=f"sweep {store.path} failures",
+        ))
     print(
         f"executed {report.executed}, skipped {report.skipped} already stored, "
+        f"{report.retries} retries, "
         f"{report.wall_seconds:.1f}s wall with --jobs {report.jobs} "
         f"({report.campaigns_per_minute:.1f} campaigns/min)"
     )
@@ -234,8 +254,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenarios=scenarios,
         formats=formats,
     )
+    try:
+        fault_plan = _fault_plan_from_args(args)
+    except ReproError as exc:
+        print(f"bad --inject-faults plan: {exc}")
+        return 2
     return _run_sweep(
-        grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir
+        grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir,
+        max_retries=args.max_retries, backoff=args.backoff,
+        task_timeout=args.task_timeout, fault_plan=fault_plan,
     )
 
 
@@ -249,7 +276,16 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         print(f"{store.path} has no grid header; re-run `repro sweep` with "
               f"the original arguments and --store {store.path}")
         return 2
-    return _run_sweep(grid, store, args.jobs, args.quiet, args.cache_dir)
+    try:
+        fault_plan = _fault_plan_from_args(args)
+    except ReproError as exc:
+        print(f"bad --inject-faults plan: {exc}")
+        return 2
+    return _run_sweep(
+        grid, store, args.jobs, args.quiet, args.cache_dir,
+        max_retries=args.max_retries, backoff=args.backoff,
+        task_timeout=args.task_timeout, fault_plan=fault_plan,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -257,7 +293,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if _is_store(args.path):
         grid, records = CampaignStore(args.path).load()
-        if args.by_scenario:
+        if args.failures:
+            print(failure_table(
+                summarise_failures(records),
+                title=f"sweep {args.path} failures",
+            ))
+        elif args.by_scenario:
             print(scenario_table(
                 summarise_by_scenario(records),
                 title=f"sweep {args.path} by scenario",
@@ -277,8 +318,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
                       f"finish with: python -m repro resume {args.path}")
         return 0
 
-    if args.by_scenario or args.by_format:
-        flag = "--by-scenario" if args.by_scenario else "--by-format"
+    if args.by_scenario or args.by_format or args.failures:
+        flag = (
+            "--by-scenario" if args.by_scenario
+            else "--by-format" if args.by_format
+            else "--failures"
+        )
         print(f"{args.path} is a single-campaign archive; {flag} "
               f"aggregates sweep stores (JSONL written by `repro sweep`)")
         return 2
@@ -480,6 +525,31 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
+    """The sweep/resume retry, timeout, and chaos knobs."""
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-executions granted after a campaign's first failed attempt "
+             "before it is quarantined as failed (default: 2)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.1,
+        help="base of the exponential retry delay in seconds — retry k "
+             "waits backoff * 2**(k-1) (default: 0.1)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=0.0,
+        help="seconds a campaign may run before its worker is presumed hung "
+             "and killed; 0 disables (parallel sweeps only)",
+    )
+    parser.add_argument(
+        "--inject-faults", default="", metavar="PLAN",
+        help="chaos-test the sweep with a seeded fault plan, e.g. "
+             "'seed=7,rate=1.0,kinds=crash+transient,max=2,hang=30,"
+             "store=0.5' — deterministic per (seed, campaign, attempt)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -515,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--by-format", action="store_true",
         help="aggregate a sweep store per tournament-format recipe (which "
              "tournament shape picks the best configurations, at what cost)",
+    )
+    p_report.add_argument(
+        "--failures", action="store_true",
+        help="show a sweep store's failure/retry view: quarantined "
+             "campaigns, their errors and attempt counts, sweep-wide retry "
+             "totals",
     )
     p_report.set_defaults(func=_cmd_report)
 
@@ -565,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
+    _add_fault_tolerance(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_resume = sub.add_parser(
@@ -581,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
+    _add_fault_tolerance(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
 
     p_cache = sub.add_parser(

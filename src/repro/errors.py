@@ -39,3 +39,23 @@ class TunerError(ReproError):
 
 class CalibrationError(ReproError):
     """An application model failed to meet its calibration targets."""
+
+
+class CampaignError(ReproError):
+    """A campaign fleet could not be dispatched or executed as asked."""
+
+
+class CampaignTimeout(CampaignError):
+    """A leased campaign outlived its task timeout (presumed hung)."""
+
+
+class WorkerLost(CampaignError):
+    """A worker process died (hard kill, OOM, interpreter crash) mid-lease."""
+
+
+class RetryExhausted(CampaignError):
+    """A campaign failed on every attempt of its retry budget (quarantined)."""
+
+
+class FaultInjected(ReproError):
+    """An injected chaos fault fired (see :mod:`repro.faults`)."""

@@ -1,0 +1,305 @@
+"""Deterministic fault injection for chaos-testing the campaign fleet.
+
+The dispatcher (:mod:`repro.campaigns.dispatch`) exists to survive exactly
+the failures a preemptible cloud fleet produces: workers hard-killed mid
+campaign, campaigns hanging past any reasonable deadline, transient errors
+that succeed on retry, and I/O blips while checkpointing results.  This
+module *manufactures* those failures reproducibly, so a chaos run is an
+ordinary deterministic test: a seeded :class:`FaultPlan` decides — as a
+pure function of ``(seed, campaign_id, attempt)`` — which campaigns fail,
+how, and how many times before succeeding.  CI asserts that a sweep under
+injected faults converges to the same store contents as a fault-free run
+(modulo attempt metadata).
+
+Fault kinds (``FaultPlan.kinds``):
+
+* ``"transient"`` — the attempt raises :class:`~repro.errors.FaultInjected`
+  (an ordinary campaign failure; the dispatcher retries with backoff).
+* ``"crash"`` — the worker process dies via ``os._exit`` (no cleanup, no
+  record; the dispatcher sees the pipe close and reclaims the lease).
+* ``"sigkill"`` — the worker SIGKILLs itself mid-campaign (uncatchable,
+  the closest simulation of the OOM killer or a spot preemption).
+* ``"hang"`` — the attempt sleeps for :attr:`FaultPlan.hang_seconds`; with
+  a task timeout set the dispatcher declares the lease expired and kills
+  the worker, otherwise the attempt fails with
+  :class:`~repro.errors.CampaignTimeout` when the sleep ends.
+
+Process-killing kinds only actually kill inside dispatcher worker
+processes (marked via :func:`mark_dispatch_worker`); executed inline —
+``jobs=1`` or single-campaign sweeps — they degrade to a raised
+:class:`~repro.errors.FaultInjected` / :class:`~repro.errors.CampaignTimeout`
+so chaos plans stay runnable (and equally convergent) without a pool.
+
+Store-append faults are a separate stream (:attr:`FaultPlan.store_rate`):
+they fire in the *parent* while checkpointing a finished campaign, where
+the runner retries the append.
+
+The active plan is process-global (:func:`set_active_fault_plan`) so
+:func:`repro.campaigns.runner.execute_campaign` — the single choke point
+every sweep goes through — can consult it without threading a parameter
+through every driver; the runner installs it in workers via the dispatcher
+and restores the previous plan when a sweep ends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CampaignTimeout, FaultInjected, ReproError
+
+#: Execution-fault kinds a plan may draw from.
+FAULT_KINDS = ("transient", "crash", "sigkill", "hang")
+
+
+def _stream(seed: int, *parts: object) -> random.Random:
+    """A private RNG per (seed, label, campaign) — stable across processes.
+
+    Seeded from a SHA-256 of the key so two campaigns (or the exec vs store
+    streams of one campaign) never share a sequence, and the same plan
+    replayed in a spawn worker, a resume run, or CI draws the same faults.
+    """
+    key = ":".join(str(p) for p in (seed, *parts))
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible schedule of injected failures.
+
+    Attributes:
+        seed: master seed; every drawn fault is a pure function of
+            ``(seed, campaign_id)``.
+        rate: fraction of campaigns that get faulted at all.
+        kinds: execution-fault kinds to draw from (see :data:`FAULT_KINDS`).
+        max_faults: faults per chosen campaign before it succeeds — a sweep
+            with ``max_retries >= max_faults`` always converges.
+        hang_seconds: how long a ``"hang"`` fault sleeps in a worker.
+        store_rate: fraction of campaigns whose *first* store append fails
+            (a separate stream from the execution faults).
+        targets: explicit per-campaign fault sequences, overriding the
+            seeded choice — ``{campaign_id: ("sigkill",)}`` faults exactly
+            that campaign's first attempt and nothing else.
+    """
+
+    seed: int = 0
+    rate: float = 1.0
+    kinds: Tuple[str, ...] = ("transient",)
+    max_faults: int = 1
+    hang_seconds: float = 60.0
+    store_rate: float = 0.0
+    targets: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kinds, tuple):
+            object.__setattr__(self, "kinds", tuple(self.kinds))
+        unknown = [k for k in self.kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ReproError(
+                f"unknown fault kind(s) {unknown}; known: {list(FAULT_KINDS)}"
+            )
+        for name in ("rate", "store_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value}")
+        if self.max_faults < 0:
+            raise ReproError(f"max_faults must be >= 0, got {self.max_faults}")
+        if self.hang_seconds < 0:
+            raise ReproError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}"
+            )
+        if self.targets is not None:
+            bad = [
+                k for seq in self.targets.values() for k in seq
+                if k not in FAULT_KINDS
+            ]
+            if bad:
+                raise ReproError(
+                    f"unknown fault kind(s) in targets: {bad}; "
+                    f"known: {list(FAULT_KINDS)}"
+                )
+
+    # -- the deterministic draw ----------------------------------------
+
+    def faults_for(self, campaign_id: str) -> Tuple[str, ...]:
+        """The campaign's full fault sequence: attempt k suffers entry k-1.
+
+        Attempts beyond the sequence succeed, so the sequence length is the
+        number of retries the campaign needs.
+        """
+        if self.targets is not None:
+            return tuple(self.targets.get(campaign_id, ()))
+        if self.max_faults == 0 or not self.kinds:
+            return ()
+        rng = _stream(self.seed, "exec", campaign_id)
+        if rng.random() >= self.rate:
+            return ()
+        count = rng.randint(1, self.max_faults)
+        return tuple(rng.choice(self.kinds) for _ in range(count))
+
+    def fault_for(self, campaign_id: str, attempt: int) -> Optional[str]:
+        """The fault kind attempt ``attempt`` (1-based) suffers, if any."""
+        sequence = self.faults_for(campaign_id)
+        if 1 <= attempt <= len(sequence):
+            return sequence[attempt - 1]
+        return None
+
+    def store_faults_for(self, campaign_id: str) -> int:
+        """How many times this campaign's store append fails (0 or 1)."""
+        if self.store_rate <= 0.0:
+            return 0
+        rng = _stream(self.seed, "store", campaign_id)
+        return 1 if rng.random() < self.store_rate else 0
+
+    def store_fault(self, campaign_id: str, append_attempt: int) -> bool:
+        """Whether append attempt ``append_attempt`` (1-based) should fail."""
+        return append_attempt <= self.store_faults_for(campaign_id)
+
+    # -- CLI form ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from ``sweep --inject-faults`` syntax.
+
+        Comma-separated ``key=value`` pairs; ``kinds`` joins with ``+``::
+
+            seed=7,rate=1.0,kinds=crash+transient,max=2,hang=30,store=0.5
+        """
+        keys = {
+            "seed": ("seed", int),
+            "rate": ("rate", float),
+            "max": ("max_faults", int),
+            "hang": ("hang_seconds", float),
+            "store": ("store_rate", float),
+        }
+        kwargs: Dict[str, object] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ReproError(
+                    f"bad fault-plan entry {part!r}; expected key=value"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key == "kinds":
+                kwargs["kinds"] = tuple(
+                    k.strip() for k in value.split("+") if k.strip()
+                )
+            elif key in keys:
+                name, cast = keys[key]
+                try:
+                    kwargs[name] = cast(value)
+                except ValueError:
+                    raise ReproError(
+                        f"bad fault-plan value {part!r}; "
+                        f"{key} takes a {cast.__name__}"
+                    ) from None
+            else:
+                raise ReproError(
+                    f"unknown fault-plan key {key!r}; known: "
+                    f"{['kinds', *keys]}"
+                )
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """The plan back in :meth:`parse` syntax (defaults omitted)."""
+        defaults = {f.name: f.default for f in fields(FaultPlan)}
+        parts = []
+        if self.seed != defaults["seed"]:
+            parts.append(f"seed={self.seed}")
+        if self.rate != defaults["rate"]:
+            parts.append(f"rate={self.rate}")
+        if self.kinds != defaults["kinds"]:
+            parts.append("kinds=" + "+".join(self.kinds))
+        if self.max_faults != defaults["max_faults"]:
+            parts.append(f"max={self.max_faults}")
+        if self.hang_seconds != defaults["hang_seconds"]:
+            parts.append(f"hang={self.hang_seconds}")
+        if self.store_rate != defaults["store_rate"]:
+            parts.append(f"store={self.store_rate}")
+        if self.targets is not None:
+            parts.append(f"targets={len(self.targets)} explicit")
+        return ",".join(parts) or "defaults"
+
+
+# -- process-global plumbing -------------------------------------------
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+_IN_DISPATCH_WORKER = False
+
+
+def set_active_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install the process's fault plan; returns the previous one."""
+    global _ACTIVE_PLAN
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    return previous
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The plan :func:`maybe_inject` currently consults (None = no chaos)."""
+    return _ACTIVE_PLAN
+
+
+def mark_dispatch_worker(flag: bool = True) -> None:
+    """Tell this process it is a dispatcher worker.
+
+    Only marked processes actually die for ``crash``/``sigkill`` faults;
+    anywhere else those kinds degrade to raised exceptions so an inline
+    chaos run cannot take down the driving process.
+    """
+    global _IN_DISPATCH_WORKER
+    _IN_DISPATCH_WORKER = flag
+
+
+def in_dispatch_worker() -> bool:
+    return _IN_DISPATCH_WORKER
+
+
+def maybe_inject(campaign_id: str, attempt: int) -> None:
+    """Fire the active plan's fault for this attempt, if it schedules one.
+
+    Called by :func:`repro.campaigns.runner.execute_campaign` before any
+    real work, so a faulted attempt costs nothing but the fault itself.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return
+    kind = plan.fault_for(campaign_id, attempt)
+    if kind is not None:
+        _apply(kind, plan, campaign_id, attempt)
+
+
+def _apply(kind: str, plan: FaultPlan, campaign_id: str, attempt: int) -> None:
+    where = f"campaign {campaign_id}, attempt {attempt}"
+    if kind == "transient":
+        raise FaultInjected(f"injected transient failure ({where})")
+    if kind == "crash":
+        if _IN_DISPATCH_WORKER:
+            os._exit(70)  # hard death: no record, no cleanup, pipe closes
+        raise FaultInjected(f"injected worker crash, simulated inline ({where})")
+    if kind == "sigkill":
+        if _IN_DISPATCH_WORKER:
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60)  # pragma: no cover - SIGKILL never returns
+        raise FaultInjected(f"injected SIGKILL, simulated inline ({where})")
+    if kind == "hang":
+        if _IN_DISPATCH_WORKER:
+            # With a task timeout the dispatcher kills us long before the
+            # sleep ends; without one, the attempt fails as a timeout so
+            # the sweep still converges instead of wedging forever.
+            time.sleep(plan.hang_seconds)
+            raise CampaignTimeout(
+                f"injected hang of {plan.hang_seconds}s outlived the sweep's "
+                f"patience ({where})"
+            )
+        raise CampaignTimeout(f"injected hang, simulated inline ({where})")
+    raise ReproError(f"unknown fault kind {kind!r}")  # pragma: no cover

@@ -371,6 +371,14 @@ class TestResumeDeterminism:
         assert again.executed == 0 and again.skipped == len(specs)
 
 
+def _exit_hard(item):
+    """A task that kills its worker without reporting back (module-level so
+    spawn can pickle it)."""
+    import os
+
+    os._exit(1)
+
+
 class TestParallelMap:
     def test_preserves_order(self):
         assert parallel_map(str, [3, 1, 2], jobs=2) == ["3", "1", "2"]
@@ -381,3 +389,17 @@ class TestParallelMap:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ReproError):
             parallel_map(str, [1], jobs=0)
+
+    def test_honours_start_method(self):
+        """The spawn-pinned pool path (formerly unreachable: parallel_map
+        dropped its caller's start method on the floor)."""
+        assert parallel_map(str, [3, 1, 2], jobs=2, start_method="spawn") \
+            == ["3", "1", "2"]
+        with pytest.raises(ReproError, match="not available"):
+            parallel_map(str, [1, 2], jobs=2, start_method="no-such-method")
+
+    def test_dead_worker_raises_worker_lost(self):
+        from repro.errors import WorkerLost
+
+        with pytest.raises(WorkerLost, match="died without reporting back"):
+            parallel_map(_exit_hard, [1, 2], jobs=2)

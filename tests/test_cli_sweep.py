@@ -169,6 +169,84 @@ class TestScenarioCli:
         assert "unknown scenario" in capsys.readouterr().out
 
 
+class TestFaultToleranceCli:
+    def test_chaos_sweep_converges_and_exits_zero(self, tmp_path, capsys):
+        import json
+
+        clean = tmp_path / "clean.jsonl"
+        chaos = tmp_path / "chaos.jsonl"
+        assert main(_sweep_args(clean)) == 0
+        capsys.readouterr()
+        assert main(_sweep_args(chaos, jobs="2") + [
+            "--inject-faults", "seed=7,rate=1.0,kinds=crash+transient,max=1",
+            "--max-retries", "3", "--backoff", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 campaigns done" in out
+        retries = int(out.split(" retries,")[0].rsplit(" ", 1)[-1])
+        assert retries > 0
+
+        def stable(path):
+            rows = []
+            for line in path.read_text().splitlines():
+                payload = json.loads(line)
+                if payload.get("kind") != "campaign_record":
+                    continue
+                payload.pop("attempts", None)
+                payload.pop("traceback", None)
+                rows.append(json.dumps(payload, sort_keys=True))
+            return sorted(rows)
+
+        assert stable(chaos) == stable(clean)
+
+    def test_bad_fault_plan_rejected(self, tmp_path, capsys):
+        args = _sweep_args(tmp_path / "s.jsonl") + [
+            "--inject-faults", "kinds=meteor",
+        ]
+        assert main(args) == 2
+        assert "bad --inject-faults plan" in capsys.readouterr().out
+
+    def test_quarantined_sweep_exits_one_and_reports_failures(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "s.jsonl"
+        assert main(_sweep_args(store, seeds="0,1", jobs="2") + [
+            "--inject-faults", "rate=1.0,kinds=transient,max=3",
+            "--max-retries", "0", "--backoff", "0",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "failures" in out and "RetryExhausted" in out
+        capsys.readouterr()
+        assert main(["report", str(store), "--failures"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out and "2/2 campaigns failed" in out
+
+    def test_resume_retries_quarantined_campaigns(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        # Quarantine everything, then resume without faults: the failures
+        # re-run (completed_ids excludes them) and converge.
+        main(_sweep_args(store) + [
+            "--inject-faults", "rate=1.0,kinds=transient,max=3",
+            "--max-retries", "0", "--backoff", "0",
+        ])
+        capsys.readouterr()
+        assert main(["resume", str(store), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 2, skipped 0" in out and "2/2 campaigns done" in out
+
+    def test_report_failures_rejects_single_campaign_archive(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "one.json"
+        main([
+            "tune", "--app", "redis", "--scale", "test", "--seed", "1",
+            "--save", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["report", str(path), "--failures"]) == 2
+        assert "sweep stores" in capsys.readouterr().out
+
+
 class TestCacheCli:
     def _dir(self, tmp_path):
         return str(tmp_path / "surfaces")

@@ -4,25 +4,38 @@ import pytest
 
 from repro.errors import (
     CalibrationError,
+    CampaignError,
+    CampaignTimeout,
     CloudError,
+    FaultInjected,
     IndexOutOfSpaceError,
     ReproError,
+    RetryExhausted,
     SpaceError,
     TournamentError,
     TunerError,
+    WorkerLost,
 )
 
 
 class TestHierarchy:
     @pytest.mark.parametrize(
         "exc",
-        [SpaceError, CloudError, TournamentError, TunerError, CalibrationError],
+        [SpaceError, CloudError, TournamentError, TunerError, CalibrationError,
+         CampaignError, FaultInjected],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
 
     def test_index_error_is_space_error(self):
         assert issubclass(IndexOutOfSpaceError, SpaceError)
+
+    @pytest.mark.parametrize(
+        "exc", [CampaignTimeout, WorkerLost, RetryExhausted]
+    )
+    def test_dispatch_errors_are_campaign_errors(self, exc):
+        """One except clause covers everything the fleet can do to a sweep."""
+        assert issubclass(exc, CampaignError)
 
     def test_index_error_payload(self):
         err = IndexOutOfSpaceError(42, 10)
