@@ -30,6 +30,7 @@ import pytest
 from repro.caching import SurfaceCache, clear_process_caches, grid_app_pairs
 from repro.campaigns import CampaignRunner, default_jobs, summarise
 from repro.experiments.table1 import table1_grid
+from repro.telemetry import read_telemetry, reset_telemetry
 
 _JOBS = 2
 
@@ -38,11 +39,14 @@ _JOBS = 2
 _ROUNDS = 3
 
 
-def _fresh_run(jobs: int, specs, cache_dir=None):
+def _fresh_run(jobs: int, specs, cache_dir=None, telemetry=False):
     """Run the grid with cold per-process tiers (the cross-run state the
     former module-global app cache leaked between measurements)."""
     clear_process_caches()
-    return CampaignRunner(jobs=jobs, cache_dir=cache_dir).run(specs)
+    reset_telemetry()
+    return CampaignRunner(
+        jobs=jobs, cache_dir=cache_dir, telemetry=telemetry
+    ).run(specs)
 
 
 def _record(payload: dict) -> None:
@@ -155,6 +159,50 @@ def test_sweep_warm_cache_matches_cold_and_is_not_slower(tmp_path):
     assert warm_best.wall_seconds <= 1.05 * cold_best.wall_seconds, (
         f"warm-cache sweep ({warm_best.wall_seconds:.2f}s) slower than "
         f"cold ({cold_best.wall_seconds:.2f}s) beyond noise"
+    )
+
+
+@pytest.mark.benchmark
+def test_sweep_telemetry_overhead_within_noise(tmp_path):
+    """ISSUE 7 acceptance: telemetry must observe the sweep, not slow it.
+
+    Runs the Table-1 grid with the event bus off and on (interleaved,
+    best-of), asserts the instrumented sweep is bit-identical to the plain
+    one and within the 5% noise allowance, and records both rows so the
+    trajectory carries the honest measured pair.
+    """
+    grid = table1_grid(scale="test", seeds=(0, 1), eval_runs=50)
+    specs = list(grid.specs())
+
+    off_best = on_best = None
+    reference = None
+    for round_index in range(_ROUNDS):
+        off = _fresh_run(1, specs)
+        sidecar = tmp_path / f"round{round_index}.telemetry"
+        on = _fresh_run(1, specs, telemetry=sidecar)
+        if reference is None:
+            reference = _payloads(off.records)
+        # The bus must never affect results: instrumented == plain, bit
+        # for bit, and the sidecar must hold the per-campaign spans.
+        assert _payloads(off.records) == reference
+        assert _payloads(on.records) == reference
+        spans = [e for e in read_telemetry(sidecar)
+                 if e.name == "campaign.execute"]
+        assert len(spans) == len(specs)
+        if off_best is None or off.wall_seconds < off_best.wall_seconds:
+            off_best = off
+        if on_best is None or on.wall_seconds < on_best.wall_seconds:
+            on_best = on
+
+    _record(dict(_sweep_row(off_best, cache="cold"), telemetry="off"))
+    _record(dict(_sweep_row(on_best, cache="cold"), telemetry="on"))
+
+    # Emission is a flag check plus one JSON line per span/counter — at
+    # test scale that is well under scheduler jitter, so gate with the
+    # same 5% noise allowance the warm-cache row uses.
+    assert on_best.wall_seconds <= 1.05 * off_best.wall_seconds, (
+        f"telemetry-on sweep ({on_best.wall_seconds:.2f}s) slower than "
+        f"telemetry-off ({off_best.wall_seconds:.2f}s) beyond noise"
     )
 
 

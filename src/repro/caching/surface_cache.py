@@ -114,14 +114,25 @@ class SurfaceCache:
         app.set_surface_loader(lambda: self.fetch(key, app.space.size))
 
     def fetch(self, key: SurfaceKey, expected_points: int) -> Optional[Arrays]:
-        """Tables for ``key``: memory tier, then validated disk read."""
+        """Tables for ``key``: memory tier, then validated disk read.
+
+        Each lookup lands one telemetry counter — ``cache.hit`` with the
+        tier that served it, or ``cache.miss`` — so a sweep's sidecar
+        answers "did the cache actually carry the fleet?" after the fact.
+        """
+        from repro.telemetry.events import counter as _telemetry_counter
+
         hit = self._memory.get(key.fingerprint)
         if hit is not None:
             self._memory.move_to_end(key.fingerprint)
+            _telemetry_counter("cache.hit", tier="memory")
             return hit
         arrays = self._read(key, expected_points)
         if arrays is not None:
             self._remember(key.fingerprint, arrays)
+            _telemetry_counter("cache.hit", tier="disk")
+        else:
+            _telemetry_counter("cache.miss")
         return arrays
 
     def _remember(self, fingerprint: str, arrays: Arrays) -> None:

@@ -55,6 +55,12 @@ from repro.errors import (
     RetryExhausted,
     WorkerLost,
 )
+from repro.telemetry.events import (
+    counter as _telemetry_counter,
+    emitter as _telemetry_emitter,
+    iter_jsonl_payloads,
+)
+from repro.telemetry.metrics import metrics_registry
 
 #: Ledger lease states.  ``quarantined`` is terminal-failed: the campaign
 #: burned its whole retry budget and was surrendered to the store as a
@@ -257,6 +263,16 @@ class TaskLedger:
     # -- journal -------------------------------------------------------
 
     def _journal(self, event: str, record: LeaseRecord) -> None:
+        # Mirror lease transitions onto the telemetry bus (a no-op while
+        # telemetry is off).  Heartbeats are skipped: they dominate event
+        # volume while carrying no per-campaign story the sidecar needs.
+        if event != "heartbeat":
+            _telemetry_counter(
+                f"lease.{event}",
+                campaign=record.campaign_id,
+                attempt=record.attempts,
+                worker=record.worker,
+            )
         if self.journal_path is None:
             return
         payload = {
@@ -277,24 +293,20 @@ class TaskLedger:
 
     @staticmethod
     def read_events(path: Union[str, Path]) -> List[dict]:
-        """Parse a journal back into its event dicts (truncation-tolerant)."""
-        path = Path(path)
-        events: List[dict] = []
-        if not path.exists():
-            return events
-        with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if isinstance(payload, dict) \
-                        and payload.get("kind") == "lease_event":
-                    events.append(payload)
-        return events
+        """Parse a journal back into its event dicts (truncation-tolerant).
+
+        Tolerant of a journal cut at *any* byte offset — including inside
+        the first line, and inside a multi-byte UTF-8 character (which
+        used to raise ``UnicodeDecodeError`` before a single line was
+        parsed).  :func:`repro.telemetry.events.iter_jsonl_payloads`
+        handles both by decoding with ``errors="replace"`` and skipping
+        lines that no longer parse.
+        """
+        return [
+            payload
+            for payload in iter_jsonl_payloads(path)
+            if payload.get("kind") == "lease_event"
+        ]
 
 
 def quarantine_record(record: CampaignRecord) -> CampaignRecord:
@@ -330,6 +342,8 @@ def _dispatch_worker(
     app_keys: Sequence[Tuple[str, object]],
     heartbeat_interval: float,
     fault_plan,
+    telemetry: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> None:
     """Worker main loop: lease in, heartbeat while busy, result out.
 
@@ -338,13 +352,22 @@ def _dispatch_worker(
     The worker never exits on its own — only a ``None`` sentinel (orderly
     shutdown) or parent death (pipe EOF) ends the loop, so an EOF in the
     *parent* always means the worker died.
+
+    With ``telemetry`` on, the worker installs a
+    :class:`~repro.telemetry.events.PipeEmitter` over the same ``send``
+    — its events ride the dispatch pipe home and the parent merges them
+    into the one ``.telemetry`` sidecar, stamped with this worker's ID.
     """
     from repro.campaigns.runner import _worker_init, execute_campaign
     from repro.faults import mark_dispatch_worker, set_active_fault_plan
+    from repro.telemetry.events import PipeEmitter, set_emitter
+    from repro.telemetry.profiling import set_profile_dir
 
     _worker_init(cache_dir, app_keys)
     set_active_fault_plan(fault_plan)
     mark_dispatch_worker()
+    if profile_dir is not None:
+        set_profile_dir(profile_dir)
 
     send_lock = threading.Lock()
 
@@ -354,6 +377,9 @@ def _dispatch_worker(
                 conn.send(message)
             except (BrokenPipeError, OSError):  # parent gone; die quietly
                 os._exit(0)
+
+    if telemetry:
+        set_emitter(PipeEmitter(send, worker_id))
 
     stop = threading.Event()
 
@@ -430,6 +456,8 @@ class Dispatcher:
         cache_dir: Optional[str] = None,
         app_keys: Sequence[Tuple[str, object]] = (),
         fault_plan=None,
+        telemetry: bool = False,
+        profile_dir: Optional[str] = None,
         clock=time.monotonic,
     ):
         if jobs < 1:
@@ -453,6 +481,8 @@ class Dispatcher:
         self.cache_dir = cache_dir
         self.app_keys = tuple(app_keys)
         self.fault_plan = fault_plan
+        self.telemetry = telemetry
+        self.profile_dir = profile_dir
         self.clock = clock
         self._workers: Dict[int, _Worker] = {}
         self._next_wid = 0
@@ -500,6 +530,8 @@ class Dispatcher:
                 self.app_keys,
                 self.heartbeat_interval,
                 self.fault_plan,
+                self.telemetry,
+                self.profile_dir,
             ),
             daemon=True,
             name=f"repro-dispatch-{wid}",
@@ -606,6 +638,15 @@ class Dispatcher:
                 self.ledger.heartbeat(worker.lease[1].campaign_id, now)
         elif kind == "started":
             self.ledger.heartbeat(message[2], now)
+        elif kind == "telemetry":
+            # A worker's bus event arriving over its pipe: stamp the
+            # worker ID and merge it into the parent's sidecar + metrics.
+            _, wid, payload = message
+            payload.setdefault("worker", wid)
+            active = _telemetry_emitter()
+            if active.enabled:
+                active.emit_payload(payload)
+                metrics_registry().ingest(payload)
         elif kind == "result":
             _, _, index, record = message
             worker.lease = None

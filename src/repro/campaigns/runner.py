@@ -66,6 +66,20 @@ from repro.campaigns.store import (
 )
 from repro.errors import ReproError, RetryExhausted, WorkerLost
 from repro.faults import FaultPlan, active_fault_plan, maybe_inject, set_active_fault_plan
+from repro.telemetry.events import (
+    JsonlEmitter,
+    counter as _telemetry_counter,
+    gauge as _telemetry_gauge,
+    set_emitter,
+    span as _telemetry_span,
+    telemetry_enabled,
+    telemetry_path_for,
+)
+from repro.telemetry.profiling import (
+    CampaignProfiler,
+    profile_dir_for,
+    set_profile_dir,
+)
 
 #: How many frames of a failed campaign's traceback are kept (the last —
 #: i.e. innermost — ones; the useful end for debugging a sweep without
@@ -138,42 +152,55 @@ def execute_campaign(spec: CampaignSpec, attempt: int = 1) -> CampaignRecord:
     dispatcher's retry counter; it selects which injected fault fires and
     is stamped on the record, and nothing else depends on it — an attempt's
     *result* is a pure function of the spec.
-    """
-    try:
-        maybe_inject(spec.campaign_id, attempt)
-        from repro.campaigns.spec import vm_from_field
-        from repro.experiments.protocol import run_strategy
 
-        app = cached_application(spec.app, spec.scale)
-        run = run_strategy(
-            app,
-            spec.strategy,
-            vm=vm_from_field(spec.vm),
-            seed=spec.seed,
-            start_time=spec.start_time,
-            eval_runs=spec.eval_runs,
-            tuner_seed=spec.tuner_seed,
-            scenario=spec.scenario,
-            tournament_format=spec.format,
-        )
-        return CampaignRecord(
-            spec=spec,
-            status=STATUS_DONE,
-            best_index=run.best_index,
-            core_hours=run.core_hours,
-            tuning_seconds=run.tuning_seconds,
-            evaluation=run.evaluation,
-            result=run.tuning_result,
-            attempts=attempt,
-        )
-    except Exception as exc:  # noqa: BLE001 - isolation is the contract
-        return CampaignRecord(
-            spec=spec,
-            status=STATUS_FAILED,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=_truncated_traceback(exc),
-            attempts=attempt,
-        )
+    Observability wraps the choke point rather than living inside it: the
+    whole attempt runs under a ``campaign.execute`` telemetry span and —
+    when a profile directory is installed — a :mod:`cProfile` capture.
+    Both are no-ops unless an operator opted in, and neither can change
+    the record.
+    """
+    with CampaignProfiler(spec.campaign_id, attempt), _telemetry_span(
+        "campaign.execute",
+        campaign=spec.campaign_id,
+        attempt=attempt,
+        app=spec.app,
+        strategy=spec.strategy,
+    ):
+        try:
+            maybe_inject(spec.campaign_id, attempt)
+            from repro.campaigns.spec import vm_from_field
+            from repro.experiments.protocol import run_strategy
+
+            app = cached_application(spec.app, spec.scale)
+            run = run_strategy(
+                app,
+                spec.strategy,
+                vm=vm_from_field(spec.vm),
+                seed=spec.seed,
+                start_time=spec.start_time,
+                eval_runs=spec.eval_runs,
+                tuner_seed=spec.tuner_seed,
+                scenario=spec.scenario,
+                tournament_format=spec.format,
+            )
+            return CampaignRecord(
+                spec=spec,
+                status=STATUS_DONE,
+                best_index=run.best_index,
+                core_hours=run.core_hours,
+                tuning_seconds=run.tuning_seconds,
+                evaluation=run.evaluation,
+                result=run.tuning_result,
+                attempts=attempt,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            return CampaignRecord(
+                spec=spec,
+                status=STATUS_FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=_truncated_traceback(exc),
+                attempts=attempt,
+            )
 
 
 def _execute_indexed(item: Tuple[int, CampaignSpec]) -> Tuple[int, CampaignRecord]:
@@ -270,6 +297,13 @@ class CampaignRunner:
         fault_plan: optional :class:`repro.faults.FaultPlan` injecting
             deterministic chaos into every attempt (installed inline and in
             every worker; restored afterwards).
+        telemetry: record this sweep's event stream.  ``True`` journals to
+            the store's ``.telemetry`` sidecar (requires a store); a path
+            journals there explicitly.  Off (the default) the bus stays
+            the no-op emitter — one flag check per instrumented site.
+        profile: capture per-campaign :mod:`cProfile` stats.  ``True``
+            dumps into the store's ``.profiles`` directory (requires a
+            store); a path dumps there explicitly.
     """
 
     def __init__(
@@ -284,6 +318,8 @@ class CampaignRunner:
         task_timeout: Optional[float] = None,
         heartbeat_interval: float = 0.5,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry: Union[bool, str, Path] = False,
+        profile: Union[bool, str, Path] = False,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -301,6 +337,23 @@ class CampaignRunner:
         self.task_timeout = task_timeout
         self.heartbeat_interval = heartbeat_interval
         self.fault_plan = fault_plan
+        self.telemetry_path = self._sidecar(
+            telemetry, "telemetry", telemetry_path_for
+        )
+        self.profile_dir = self._sidecar(profile, "profile", profile_dir_for)
+
+    def _sidecar(self, setting, what: str, derive) -> Optional[Path]:
+        """Resolve a bool-or-path opt-in to its concrete location."""
+        if not setting:
+            return None
+        if isinstance(setting, (str, Path)):
+            return Path(setting)
+        if self.store is None:
+            raise ReproError(
+                f"{what}=True derives its path from the store; "
+                f"without one, pass an explicit path"
+            )
+        return derive(self.store.path)
 
     def run(self, specs: Iterable[CampaignSpec], *, grid=None) -> SweepReport:
         """Execute every spec (or recall it from the store); see class docs.
@@ -326,6 +379,18 @@ class CampaignRunner:
         previous_surface_cache = process_surface_cache()
         previous_plan = active_fault_plan()
         retries = 0
+        # Bring the observability tiers up for this sweep (and only this
+        # sweep): the sidecar emitter and profile directory are installed
+        # here and restored on the way out, so nested/later runs in the
+        # same process see exactly what they configured themselves.
+        sweep_emitter = None
+        previous_emitter = None
+        previous_profile_dir = None
+        if self.telemetry_path is not None:
+            sweep_emitter = JsonlEmitter(self.telemetry_path)
+            previous_emitter = set_emitter(sweep_emitter)
+        if self.profile_dir is not None:
+            previous_profile_dir = set_profile_dir(self.profile_dir)
         try:
             # The plan must be live in this process for inline execution and
             # parent-side store faults; dispatcher workers get their own copy.
@@ -352,20 +417,47 @@ class CampaignRunner:
                 skipped = len(specs) - len(pending)
                 total = len(pending)
                 finished = 0
+                if telemetry_enabled():
+                    _telemetry_gauge("sweep.campaigns_total", float(len(specs)))
+                    _telemetry_gauge("sweep.campaigns_pending", float(total))
+                    _telemetry_counter("sweep.start", jobs=self.jobs)
                 for index, record in self._execute(pending):
                     results[index] = record
                     finished += 1
                     retries += max(0, record.attempts - 1)
+                    if telemetry_enabled():
+                        # The sidecar's terminal campaign events: replaying
+                        # them (last write per campaign wins) must agree
+                        # with `report --failures` over the store itself.
+                        _telemetry_counter(
+                            "campaign.done" if record.ok else "campaign.failed",
+                            campaign=record.campaign_id,
+                            attempt=record.attempts,
+                        )
+                        if record.core_hours:
+                            _telemetry_counter(
+                                "campaign.core_hours",
+                                value=float(record.core_hours),
+                                campaign=record.campaign_id,
+                            )
                     if self.store is not None:
                         self._append_with_retry(record)
                     if self.progress is not None:
                         self.progress(finished, total, record)
+                if telemetry_enabled():
+                    _telemetry_gauge("sweep.retries", float(retries))
+                    _telemetry_counter("sweep.end", jobs=self.jobs)
         finally:
             set_active_fault_plan(previous_plan)
             # _warm_cache points the process at this sweep's surface cache;
             # a later cacheless run in the same process must not inherit it.
             if self.cache_dir is not None:
                 set_process_surface_cache(previous_surface_cache)
+            if self.profile_dir is not None:
+                set_profile_dir(previous_profile_dir)
+            if sweep_emitter is not None:
+                set_emitter(previous_emitter)
+                sweep_emitter.close()
 
         return SweepReport(
             records=[results[i] for i in range(len(specs))],
@@ -468,6 +560,12 @@ class CampaignRunner:
             cache_dir=cache_dir,
             app_keys=app_keys,
             fault_plan=self.fault_plan,
+            # Workers forward their events over the dispatch pipe whenever
+            # this process's bus is live (however it was enabled).
+            telemetry=telemetry_enabled(),
+            profile_dir=(
+                str(self.profile_dir) if self.profile_dir is not None else None
+            ),
         )
         yield from dispatcher.run(pending)
 

@@ -308,7 +308,13 @@ class CampaignStore:
         """Yield parsed lines lazily (``read_grid`` stops at the header)."""
         if not self.exists():
             return
-        with self.path.open("r", encoding="utf-8") as handle:
+        # errors="replace": a crash can truncate the tail mid-UTF-8
+        # character, which would otherwise raise UnicodeDecodeError before
+        # a single line parsed; replaced, the torn line just fails JSON
+        # parsing below and is skipped like any other truncation.
+        with self.path.open(
+            "r", encoding="utf-8", errors="replace"
+        ) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

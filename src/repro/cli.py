@@ -7,12 +7,18 @@ Subcommands::
     python -m repro experiment --name fig10 --scale test --jobs 4
     python -m repro table1
     python -m repro sweep --apps redis,lammps --seeds 0,1,2 --jobs 4 \
-        --store sweep.jsonl
+        --store sweep.jsonl --telemetry --progress
     python -m repro resume sweep.jsonl --jobs 4
+    python -m repro status sweep.jsonl --watch
     python -m repro report sweep.jsonl
+    python -m repro report sweep.jsonl --metrics
     python -m repro cache warm --apps redis,lammps --scale bench
     python -m repro cache info
     python -m repro cache clear
+
+Global ``--verbose`` / ``--quiet`` (before the subcommand) tune how chatty
+every command is; progress and status lines flow through the ``repro``
+logger (:mod:`repro.telemetry.log`), result tables through stdout.
 
 The CLI is a thin layer over the library; anything it prints can be
 recomputed programmatically through :mod:`repro.experiments` and
@@ -22,6 +28,8 @@ recomputed programmatically through :mod:`repro.experiments` and
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -59,6 +67,17 @@ from repro.experiments import (
 from repro.experiments.format_power import FORMAT_NAMES
 from repro.formats.recipes import TOURNAMENT_FORMAT_NAMES, tournament_format_names
 from repro.scenarios import SCENARIO_NAMES, scenario_names
+from repro.telemetry import (
+    LiveProgress,
+    configure_logging,
+    get_logger,
+    render_status,
+    render_store_metrics,
+    snapshot,
+    watch,
+)
+
+_LOG = get_logger("cli")
 
 _EXPERIMENTS = (
     "fig10", "fig11", "fig12", "fig15", "stability", "sensitivity",
@@ -106,8 +125,10 @@ def _unknown_formats(names) -> list:
 def _check_formats(names) -> int:
     unknown = _unknown_formats(names)
     if unknown:
-        print(f"unknown tournament format: {unknown[0]!r}; "
-              f"registered: {list(tournament_format_names())}")
+        _LOG.error(
+            "unknown tournament format: %r; registered: %s",
+            unknown[0], list(tournament_format_names()),
+        )
         return 2
     return 0
 
@@ -115,8 +136,10 @@ def _check_formats(names) -> int:
 def _cmd_tune(args: argparse.Namespace) -> int:
     unknown = _unknown_scenarios([args.scenario])
     if unknown:
-        print(f"unknown scenario: {unknown[0]!r}; "
-              f"registered: {list(scenario_names())}")
+        _LOG.error(
+            "unknown scenario: %r; registered: %s",
+            unknown[0], list(scenario_names()),
+        )
         return 2
     if _check_formats([args.format]):
         return 2
@@ -187,7 +210,7 @@ def _progress_printer(quiet: bool):
 
     def report(finished: int, total: int, record) -> None:
         mark = "ok" if record.ok else "FAILED"
-        print(f"[{finished}/{total}] {record.campaign_id} {mark}", flush=True)
+        _LOG.info("[%d/%d] %s %s", finished, total, record.campaign_id, mark)
 
     return report
 
@@ -201,27 +224,46 @@ def _fault_plan_from_args(args: argparse.Namespace):
 def _run_sweep(grid: CampaignGrid, store: CampaignStore, jobs: int,
                quiet: bool = False, cache_dir: str = "",
                max_retries: int = 2, backoff: float = 0.1,
-               task_timeout: float = 0.0, fault_plan=None) -> int:
+               task_timeout: float = 0.0, fault_plan=None,
+               telemetry: bool = False, profile: bool = False,
+               live_progress: bool = False) -> int:
+    # --progress swaps the per-campaign log lines for one in-place meter
+    # with throughput and an EWMA ETA; --quiet silences both.
+    meter = LiveProgress() if live_progress and not quiet else None
     runner = CampaignRunner(
-        jobs=jobs, store=store, progress=_progress_printer(quiet),
+        jobs=jobs, store=store,
+        progress=meter if meter is not None else _progress_printer(quiet),
         cache_dir=cache_dir or None,
         max_retries=max_retries, backoff=backoff,
         task_timeout=task_timeout or None, fault_plan=fault_plan,
+        telemetry=telemetry, profile=profile,
     )
-    # The runner writes the grid header itself, inside the store lock.
-    report = runner.run(grid.specs(), grid=grid)
+    try:
+        # The runner writes the grid header itself, inside the store lock.
+        report = runner.run(grid.specs(), grid=grid)
+    finally:
+        if meter is not None:
+            meter.close()
     print(summary_table(summarise(report.records), title=f"sweep {store.path}"))
     if report.failures:
         print(failure_table(
             summarise_failures(report.records),
             title=f"sweep {store.path} failures",
         ))
-    print(
-        f"executed {report.executed}, skipped {report.skipped} already stored, "
-        f"{report.retries} retries, "
-        f"{report.wall_seconds:.1f}s wall with --jobs {report.jobs} "
-        f"({report.campaigns_per_minute:.1f} campaigns/min)"
+    _LOG.info(
+        "executed %d, skipped %d already stored, %d retries, "
+        "%.1fs wall with --jobs %d (%.1f campaigns/min)",
+        report.executed, report.skipped, report.retries,
+        report.wall_seconds, report.jobs, report.campaigns_per_minute,
     )
+    if telemetry:
+        _LOG.info(
+            "telemetry sidecar: %s (inspect with `repro status %s` or "
+            "`repro report %s --metrics`)",
+            runner.telemetry_path, store.path, store.path,
+        )
+    if profile:
+        _LOG.info("campaign profiles: %s", runner.profile_dir)
     return 1 if report.failures else 0
 
 
@@ -229,23 +271,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def csv(text: str) -> tuple:
         return tuple(s.strip() for s in text.split(",") if s.strip())
 
+    apps = csv(args.apps)
+    unknown = [a for a in apps if a not in APPLICATION_NAMES]
+    if unknown:
+        # Catch the typo here: an unknown app otherwise kills every worker
+        # that leases one of its campaigns, burning the whole retry budget.
+        _LOG.error(
+            "unknown applications: %s; available: %s",
+            unknown, list(APPLICATION_NAMES),
+        )
+        return 2
     strategies = csv(args.strategies)
     known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
     unknown = [s for s in strategies if s not in known]
     if unknown:
-        print(f"unknown strategies: {unknown}; available: {list(known)}")
+        _LOG.error("unknown strategies: %s; available: %s", unknown, list(known))
         return 2
     scenarios = csv(args.scenarios)
     unknown = _unknown_scenarios(scenarios)
     if unknown:
-        print(f"unknown scenarios: {unknown}; "
-              f"registered: {list(scenario_names())}")
+        _LOG.error(
+            "unknown scenarios: %s; registered: %s",
+            unknown, list(scenario_names()),
+        )
         return 2
     formats = csv(args.formats)
     if _check_formats(formats):
         return 2
     grid = CampaignGrid(
-        apps=csv(args.apps),
+        apps=apps,
         strategies=strategies,
         vms=csv(args.vms),
         seeds=tuple(int(s) for s in csv(args.seeds)),
@@ -257,41 +311,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         fault_plan = _fault_plan_from_args(args)
     except ReproError as exc:
-        print(f"bad --inject-faults plan: {exc}")
+        _LOG.error("bad --inject-faults plan: %s", exc)
         return 2
     return _run_sweep(
         grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir,
         max_retries=args.max_retries, backoff=args.backoff,
         task_timeout=args.task_timeout, fault_plan=fault_plan,
+        telemetry=args.telemetry, profile=args.profile,
+        live_progress=args.progress,
     )
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     store = CampaignStore(args.store)
     if not store.exists():
-        print(f"no store at {store.path}; start one with `repro sweep --store`")
+        _LOG.error(
+            "no store at %s; start one with `repro sweep --store`", store.path
+        )
         return 2
     grid = store.read_grid()
     if grid is None:
-        print(f"{store.path} has no grid header; re-run `repro sweep` with "
-              f"the original arguments and --store {store.path}")
+        _LOG.error(
+            "%s has no grid header; re-run `repro sweep` with the original "
+            "arguments and --store %s", store.path, store.path,
+        )
         return 2
     try:
         fault_plan = _fault_plan_from_args(args)
     except ReproError as exc:
-        print(f"bad --inject-faults plan: {exc}")
+        _LOG.error("bad --inject-faults plan: %s", exc)
         return 2
     return _run_sweep(
         grid, store, args.jobs, args.quiet, args.cache_dir,
         max_retries=args.max_retries, backoff=args.backoff,
         task_timeout=args.task_timeout, fault_plan=fault_plan,
+        telemetry=args.telemetry, profile=args.profile,
+        live_progress=args.progress,
     )
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    if not store.exists():
+        _LOG.error(
+            "no store at %s; start one with `repro sweep --store`", store.path
+        )
+        return 2
+    if args.watch:
+        watch(store.path, interval=args.interval)
+        return 0
+    snap = snapshot(store.path)
+    if args.json:
+        print(json.dumps(snap.to_payload(), sort_keys=True))
+    else:
+        print(render_status(snap))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.persistence import load_campaign
 
     if _is_store(args.path):
+        if args.metrics:
+            print(render_store_metrics(args.path), end="")
+            return 0
         grid, records = CampaignStore(args.path).load()
         if args.failures:
             print(failure_table(
@@ -314,18 +397,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
             done = {r.campaign_id for r in records if r.ok}
             pending = sum(1 for s in grid.specs() if s.campaign_id not in done)
             if pending:
-                print(f"{pending} of {grid.size} campaigns still pending — "
-                      f"finish with: python -m repro resume {args.path}")
+                _LOG.info(
+                    "%d of %d campaigns still pending — finish with: "
+                    "python -m repro resume %s", pending, grid.size, args.path,
+                )
         return 0
 
-    if args.by_scenario or args.by_format or args.failures:
+    if args.by_scenario or args.by_format or args.failures or args.metrics:
         flag = (
             "--by-scenario" if args.by_scenario
             else "--by-format" if args.by_format
-            else "--failures"
+            else "--failures" if args.failures
+            else "--metrics"
         )
-        print(f"{args.path} is a single-campaign archive; {flag} "
-              f"aggregates sweep stores (JSONL written by `repro sweep`)")
+        _LOG.error(
+            "%s is a single-campaign archive; %s aggregates sweep stores "
+            "(JSONL written by `repro sweep`)", args.path, flag,
+        )
         return 2
     result, evaluation, meta = load_campaign(args.path)
     rows = [
@@ -349,8 +437,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     unknown = _unknown_scenarios([args.scenario])
     if unknown:
-        print(f"unknown scenario: {unknown[0]!r}; "
-              f"registered: {list(scenario_names())}")
+        _LOG.error(
+            "unknown scenario: %r; registered: %s",
+            unknown[0], list(scenario_names()),
+        )
         return 2
     if _check_formats([args.format]):
         return 2
@@ -358,7 +448,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
     unknown = [s for s in strategies if s not in known]
     if unknown:
-        print(f"unknown strategies: {unknown}; available: {list(known)}")
+        _LOG.error("unknown strategies: %s; available: %s", unknown, list(known))
         return 2
     app = make_application(args.app, scale=args.scale)
     rows = []
@@ -484,8 +574,10 @@ def _cmd_cache_warm(args: argparse.Namespace) -> int:
     apps = tuple(s.strip() for s in args.apps.split(",") if s.strip())
     unknown = [a for a in apps if a not in APPLICATION_NAMES]
     if unknown:
-        print(f"unknown applications: {unknown}; "
-              f"available: {list(APPLICATION_NAMES)}")
+        _LOG.error(
+            "unknown applications: %s; available: %s",
+            unknown, list(APPLICATION_NAMES),
+        )
         return 2
     entries = cache.warm((name, args.scale) for name in apps)
     print(render_table(
@@ -525,6 +617,26 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    """The sweep/resume telemetry, progress, and profiling opt-ins."""
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="journal structured span/counter/gauge events to the store's "
+             ".telemetry sidecar (worker events are merged by the parent); "
+             "inspect with `repro status` or `repro report --metrics`",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="replace per-campaign progress lines with one in-place meter "
+             "showing done/failed counts, throughput, and an EWMA ETA",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="capture per-campaign cProfile stats into the store's "
+             ".profiles directory (one .pstats file per attempt)",
+    )
+
+
 def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
     """The sweep/resume retry, timeout, and chaos knobs."""
     parser.add_argument(
@@ -554,6 +666,16 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro", description="DarwinGame reproduction command-line interface"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, dest="verbose",
+        help="more logging (DEBUG with timestamps); place before the "
+             "subcommand",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0, dest="log_quiet",
+        help="less logging (warnings and errors only); place before the "
+             "subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -592,7 +714,34 @@ def build_parser() -> argparse.ArgumentParser:
              "campaigns, their errors and attempt counts, sweep-wide retry "
              "totals",
     )
+    p_report.add_argument(
+        "--metrics", action="store_true",
+        help="replay the store's .telemetry sidecar into counters, gauges, "
+             "and histograms (text exposition format); requires a sweep run "
+             "with --telemetry",
+    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_status = sub.add_parser(
+        "status", help="live done/running/queued/failed view of a sweep store"
+    )
+    p_status.add_argument(
+        "store", help="JSONL store written by sweep (its .ledger/.telemetry "
+                      "sidecars are fused in when present)",
+    )
+    p_status.add_argument(
+        "--watch", action="store_true",
+        help="refresh the status block in place until the sweep finishes",
+    )
+    p_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="--watch refresh period in seconds (default: 2.0)",
+    )
+    p_status.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object instead of the rendered block",
+    )
+    p_status.set_defaults(func=_cmd_status)
 
     p_sweep = sub.add_parser(
         "sweep", help="run a campaign grid through the parallel runner"
@@ -642,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
     _add_fault_tolerance(p_sweep)
+    _add_observability(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_resume = sub.add_parser(
@@ -659,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
     _add_fault_tolerance(p_resume)
+    _add_observability(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
 
     p_cache = sub.add_parser(
@@ -725,7 +876,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(args.verbose - args.log_quiet)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro status ... | head`).  Point
+        # stdout at devnull so the interpreter's shutdown flush cannot
+        # raise again, and exit quietly like any well-behaved filter.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -27,6 +27,7 @@ from repro.core.game import GameReport, play_round
 from repro.core.records import RecordBook
 from repro.formats.match import RecordedMatch
 from repro.formats.scheduler import Round
+from repro.telemetry.events import emit_event, telemetry_enabled
 
 #: Judging rule: (lineup, report) -> position of the game's winner.
 Judge = Callable[[Sequence[int], GameReport], int]
@@ -57,8 +58,28 @@ class MatchExecutor:
         allow_early_termination: bool = True,
         advance_clock: bool = False,
     ) -> List[GameReport]:
-        """One batched round of co-located games; scores booked per game."""
-        return play_round(
+        """One batched round of co-located games; scores booked per game.
+
+        With telemetry on, each round emits a ``round.play`` span: host
+        wall time as the span value, plus the round's shape (label, game
+        count, early terminations, simulated seconds) as fields.  Off, the
+        cost is one flag check.
+        """
+        if not telemetry_enabled():
+            return play_round(
+                self.env,
+                self.app,
+                lineups,
+                self.config,
+                self.records,
+                allow_early_termination=allow_early_termination,
+                label=label,
+                advance_clock=advance_clock,
+            )
+        import time as _time
+
+        t0 = _time.perf_counter()
+        reports = play_round(
             self.env,
             self.app,
             lineups,
@@ -68,6 +89,18 @@ class MatchExecutor:
             label=label,
             advance_clock=advance_clock,
         )
+        emit_event(
+            "round.play",
+            type="span",
+            value=_time.perf_counter() - t0,
+            label=label,
+            games=len(reports),
+            early_terminated=sum(
+                1 for r in reports if r.outcome.early_terminated
+            ),
+            sim_seconds=round(self.round_elapsed(reports), 6),
+        )
+        return reports
 
     def duel(
         self, a: int, b: int, *, label: str, advance_clock: bool = True

@@ -275,6 +275,13 @@ def maybe_inject(campaign_id: str, attempt: int) -> None:
         return
     kind = plan.fault_for(campaign_id, attempt)
     if kind is not None:
+        # Counted before _apply: a sigkill/crash fault never returns, and
+        # the injection itself is the fact the telemetry stream needs.
+        from repro.telemetry.events import counter as _telemetry_counter
+
+        _telemetry_counter(
+            "faults.injected", kind=kind, campaign=campaign_id, attempt=attempt
+        )
         _apply(kind, plan, campaign_id, attempt)
 
 

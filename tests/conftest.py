@@ -3,16 +3,20 @@
 import pytest
 
 from repro.caching import clear_process_caches
+from repro.telemetry import reset_telemetry
 
 
 @pytest.fixture(autouse=True)
 def _fresh_process_caches():
-    """Reset the process-global caching tiers after every test.
+    """Reset the process-global caching and telemetry tiers after every test.
 
     The campaign runner serves applications from a process-wide
     :class:`repro.caching.ApplicationCache` and may attach a process-wide
-    surface cache; without this hook, state (and tmp-dir cache handles)
-    would leak from one test into the next.
+    surface cache; the telemetry layer keeps a process-wide emitter,
+    metrics registry, and profile directory.  Without this hook, state
+    (and tmp-dir cache/sidecar handles) would leak from one test into the
+    next.
     """
     yield
     clear_process_caches()
+    reset_telemetry()

@@ -109,6 +109,31 @@ class TestTaskLedger:
             handle.write('{"kind": "lease_event", "trunca')
         assert len(TaskLedger.read_events(path)) == 3
 
+    def test_journal_truncated_at_every_byte_offset(self, tmp_path):
+        """Regression: a journal cut at ANY byte offset must parse.
+
+        Truncation inside the *first* line used to be the dangerous case —
+        and cutting inside a multi-byte UTF-8 character (the error text
+        below has one) raised ``UnicodeDecodeError`` before a single line
+        was parsed, instead of being skipped like any other torn line.
+        """
+        path = tmp_path / "torn.ledger"
+        ledger = TaskLedger(["café-0"], journal_path=path, max_retries=0)
+        ledger.lease("café-0", worker=1, now=0.0)
+        ledger.requeue("café-0", "exposé café failure — naïve worker", now=1.0)
+        intact = path.read_bytes()
+        events = TaskLedger.read_events(path)
+        assert [e["event"] for e in events] == ["leased", "quarantined"]
+        offsets = {0: 0, len(intact): 2}
+        for cut in range(len(intact) + 1):
+            path.write_bytes(intact[:cut])
+            parsed = TaskLedger.read_events(path)  # must never raise
+            assert len(parsed) <= 2
+            for event, expected in zip(parsed, events):
+                assert event == expected  # prefix property: intact lines only
+            if cut in offsets:
+                assert len(parsed) == offsets[cut]
+
     def test_bad_policy_rejected(self):
         with pytest.raises(ReproError):
             TaskLedger(max_retries=-1)
