@@ -44,7 +44,8 @@ trap cleanup EXIT
 
 BENCH_JSON="$staging" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m pytest benchmarks/test_perf_tournament.py \
-        benchmarks/test_perf_sweep.py -q -s -m benchmark "$@"
+        benchmarks/test_perf_sweep.py \
+        benchmarks/test_perf_store.py -q -s -m benchmark "$@"
 
 cat "$staging" >> "$out"
 echo "perf trajectory appended to $out ($(wc -l < "$staging") row(s))"

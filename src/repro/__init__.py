@@ -28,8 +28,13 @@ from repro.campaigns import (
     CampaignRunner,
     CampaignSpec,
     CampaignStore,
+    ResultStore,
+    ShardedStore,
+    SqliteStore,
     SweepReport,
     SweepSummary,
+    migrate_store,
+    open_store,
     summarise,
 )
 from repro.cloud import (
@@ -95,9 +100,12 @@ __all__ = [
     "QuantileRegressionTuner",
     "RandomSearch",
     "ReplayedInterference",
+    "ResultStore",
     "SCENARIO_NAMES",
     "Scenario",
     "SearchSpace",
+    "ShardedStore",
+    "SqliteStore",
     "SurfaceCache",
     "SweepReport",
     "SweepSummary",
@@ -111,6 +119,8 @@ __all__ = [
     "make_lammps",
     "make_redis",
     "get_scenario",
+    "migrate_store",
+    "open_store",
     "partition_regions",
     "record_trace",
     "register_scenario",

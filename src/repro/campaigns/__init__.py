@@ -5,15 +5,19 @@ The paper's evaluation is not one tuning run but thousands — every
 independent campaign.  This subsystem executes such fleets: declare them
 with :class:`CampaignSpec` / :class:`CampaignGrid`, run them with
 :class:`CampaignRunner` (worker pool, failure isolation, deterministic
-parallelism), and checkpoint them in a :class:`CampaignStore` so an
-interrupted sweep resumes instead of restarting.
+parallelism), and checkpoint them in a :class:`ResultStore` backend —
+single-file JSONL (:class:`CampaignStore`, the default), a sharded JSONL
+directory (:class:`ShardedStore`), or SQLite (:class:`SqliteStore`) — so
+an interrupted sweep resumes instead of restarting.  :func:`open_store`
+picks the backend from what is on disk (or a path suffix);
+:func:`migrate_store` converts between them losslessly.
 
 Quickstart::
 
-    from repro.campaigns import CampaignGrid, CampaignRunner, CampaignStore
+    from repro.campaigns import CampaignGrid, CampaignRunner, open_store
 
     grid = CampaignGrid(apps=("redis", "lammps"), seeds=(0, 1, 2), scale="test")
-    runner = CampaignRunner(jobs=4, store=CampaignStore("sweep.jsonl"))
+    runner = CampaignRunner(jobs=4, store=open_store("sweep.jsonl"))
     report = runner.run(grid.specs())       # re-run: finished cells skipped
 
 or from the shell: ``python -m repro sweep --apps redis,lammps --seeds 0,1,2
@@ -48,7 +52,17 @@ from repro.campaigns.runner import (
     parallel_map,
 )
 from repro.campaigns.spec import CampaignGrid, CampaignSpec, repeat_specs
-from repro.campaigns.store import CampaignRecord, CampaignStore, StoreLock
+from repro.campaigns.store import (
+    CampaignRecord,
+    CampaignStore,
+    ResultStore,
+    ShardedStore,
+    SqliteStore,
+    StoreLock,
+    migrate_store,
+    open_store,
+    sniff_backend,
+)
 
 __all__ = [
     "CampaignGrid",
@@ -61,8 +75,11 @@ __all__ = [
     "FailureSummary",
     "FormatRow",
     "FormatSummary",
+    "ResultStore",
     "ScenarioRow",
     "ScenarioSummary",
+    "ShardedStore",
+    "SqliteStore",
     "StoreLock",
     "SweepReport",
     "SweepRow",
@@ -74,9 +91,12 @@ __all__ = [
     "failure_table",
     "format_table",
     "ledger_path_for",
+    "migrate_store",
+    "open_store",
     "parallel_map",
     "repeat_specs",
     "scenario_table",
+    "sniff_backend",
     "summarise",
     "summarise_by_format",
     "summarise_by_scenario",

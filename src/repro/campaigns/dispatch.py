@@ -102,7 +102,12 @@ def worker_lost_message(context: str) -> str:
 
 
 def ledger_path_for(store_path: Union[str, Path]) -> Path:
-    """Where a store's lease ledger journal lives: a ``.ledger`` sidecar."""
+    """The file-backend ``.ledger`` sidecar convention.
+
+    Legacy helper: consumers that know their store should ask it via
+    ``store.sidecar_path(SIDECAR_LEDGER)``, which directory backends
+    resolve *inside* the store tree instead.
+    """
     store_path = Path(store_path)
     return store_path.with_name(store_path.name + ".ledger")
 

@@ -19,10 +19,11 @@ for the drivers' former hand-rolled loops:
   its ``max_retries`` budget is quarantined as ``"failed"`` so the sweep
   *completes*.  Inline execution (``jobs=1``) applies the same retry
   policy without a pool.
-* **Resume** — with a :class:`~repro.campaigns.store.CampaignStore`
-  attached, every finished campaign is checkpointed immediately and specs
-  whose IDs are already stored as done are skipped, so an interrupted
-  sweep continues where it stopped.
+* **Resume** — with a :class:`~repro.campaigns.store.base.ResultStore`
+  attached (any backend: single-file JSONL, sharded directory, SQLite),
+  every finished campaign is checkpointed immediately and specs whose IDs
+  are already stored as done are skipped, so an interrupted sweep
+  continues where it stopped.
 
 Chaos testing rides the same machinery: install a seeded
 :class:`repro.faults.FaultPlan` (``fault_plan=`` here, ``--inject-faults``
@@ -53,16 +54,18 @@ from repro.campaigns.dispatch import (
     Dispatcher,
     TaskLedger,
     _pool_context,
-    ledger_path_for,
     quarantine_record,
     worker_lost_message,
 )
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import (
+    SIDECAR_LEDGER,
+    SIDECAR_PROFILES,
+    SIDECAR_TELEMETRY,
     STATUS_DONE,
     STATUS_FAILED,
     CampaignRecord,
-    CampaignStore,
+    ResultStore,
 )
 from repro.errors import ReproError, RetryExhausted, WorkerLost
 from repro.faults import FaultPlan, active_fault_plan, maybe_inject, set_active_fault_plan
@@ -73,11 +76,9 @@ from repro.telemetry.events import (
     set_emitter,
     span as _telemetry_span,
     telemetry_enabled,
-    telemetry_path_for,
 )
 from repro.telemetry.profiling import (
     CampaignProfiler,
-    profile_dir_for,
     set_profile_dir,
 )
 
@@ -269,11 +270,13 @@ class CampaignRunner:
 
     Args:
         jobs: worker processes; ``1`` executes inline (no pool).
-        store: optional checkpoint store — enables skip-done resume and
-            per-campaign durability.  The runner holds the store's advisory
-            lock while executing, so two concurrent sweeps cannot silently
-            interleave appends into one file.  Parallel sweeps journal
-            their lease ledger to a ``.ledger`` sidecar next to it.
+        store: optional checkpoint store — any
+            :class:`~repro.campaigns.store.base.ResultStore` backend —
+            enables skip-done resume and per-campaign durability.  The
+            runner holds the store's advisory lock while executing, so two
+            concurrent sweeps cannot silently interleave appends.
+            Parallel sweeps journal their lease ledger to the store's
+            ``ledger`` sidecar (the backend says where that lives).
         progress: optional callback ``(finished_count, total, record)``
             invoked as campaigns complete (store replays excluded).
         cache_dir: optional surface-cache directory.  Before executing, the
@@ -309,7 +312,7 @@ class CampaignRunner:
     def __init__(
         self,
         jobs: int = 1,
-        store: Optional[CampaignStore] = None,
+        store: Optional[ResultStore] = None,
         progress: Optional[ProgressFn] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         start_method: Optional[str] = None,
@@ -338,12 +341,16 @@ class CampaignRunner:
         self.heartbeat_interval = heartbeat_interval
         self.fault_plan = fault_plan
         self.telemetry_path = self._sidecar(
-            telemetry, "telemetry", telemetry_path_for
+            telemetry, "telemetry", SIDECAR_TELEMETRY
         )
-        self.profile_dir = self._sidecar(profile, "profile", profile_dir_for)
+        self.profile_dir = self._sidecar(profile, "profile", SIDECAR_PROFILES)
 
-    def _sidecar(self, setting, what: str, derive) -> Optional[Path]:
-        """Resolve a bool-or-path opt-in to its concrete location."""
+    def _sidecar(self, setting, what: str, kind: str) -> Optional[Path]:
+        """Resolve a bool-or-path opt-in to its concrete location.
+
+        ``True`` asks the store's backend where its ``kind`` sidecar lives
+        (next to a store file; inside a sharded store's directory).
+        """
         if not setting:
             return None
         if isinstance(setting, (str, Path)):
@@ -353,7 +360,7 @@ class CampaignRunner:
                 f"{what}=True derives its path from the store; "
                 f"without one, pass an explicit path"
             )
-        return derive(self.store.path)
+        return self.store.sidecar_path(kind)
 
     def run(self, specs: Iterable[CampaignSpec], *, grid=None) -> SweepReport:
         """Execute every spec (or recall it from the store); see class docs.
@@ -544,7 +551,7 @@ class CampaignRunner:
         app_keys = grid_app_pairs([spec for _, spec in pending])
         ledger = TaskLedger(
             journal_path=(
-                ledger_path_for(self.store.path)
+                self.store.sidecar_path(SIDECAR_LEDGER)
                 if self.store is not None
                 else None
             ),

@@ -1,0 +1,176 @@
+"""The stored form of one campaign outcome, shared by every store backend.
+
+:class:`CampaignRecord` is the unit every :class:`~repro.campaigns.store.
+base.ResultStore` persists: backends differ in *where* the JSON payload
+lands (one file, a sharded directory, a SQLite table), never in *what* it
+contains.  The payload codec is :mod:`repro.experiments.persistence` — the
+same pickle-free JSON representation of :class:`~repro.types.TuningResult`
+and :class:`~repro.types.ChoiceEvaluation` used by single-campaign
+archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.campaigns.spec import CampaignSpec
+from repro.errors import ReproError
+from repro.types import ChoiceEvaluation, TuningResult
+
+
+def _persistence():
+    """The JSON codec records are built on, imported late.
+
+    :mod:`repro.experiments.persistence` lives inside the experiments
+    package, whose ``__init__`` imports the drivers that in turn import
+    this package — a cycle at import time, not at run time.
+    """
+    from repro.experiments import persistence
+
+    return persistence
+
+
+#: On-disk payload schema version, stamped on every line/row.
+FORMAT_VERSION = 1
+
+#: Campaign terminal states.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+#: Payload ``kind`` tags (the line/row discriminator every backend shares).
+KIND_GRID = "campaign_grid"
+KIND_RECORD = "campaign_record"
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Terminal outcome of one campaign, as stored.
+
+    ``status`` is ``"done"`` or ``"failed"``; a failed campaign carries the
+    exception summary in ``error`` plus a truncated ``traceback`` (the last
+    ~20 frames — enough to debug a sweep without shipping megabytes of
+    text) and ``None`` results — one crash never loses the rest of the
+    sweep.  ``attempts`` counts dispatcher executions including retries; a
+    record that needed no retry stores ``1``, so fault-free sweeps stay
+    byte-identical run to run.
+    """
+
+    spec: CampaignSpec
+    status: str
+    best_index: Optional[int] = None
+    core_hours: float = 0.0
+    tuning_seconds: float = 0.0
+    evaluation: Optional[ChoiceEvaluation] = None
+    result: Optional[TuningResult] = None
+    error: str = ""
+    traceback: str = ""
+    attempts: int = 1
+
+    @property
+    def campaign_id(self) -> str:
+        return self.spec.campaign_id
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_DONE
+
+    @property
+    def mean_time(self) -> float:
+        """Mean cloud execution time of the chosen configuration."""
+        if self.evaluation is None:
+            raise ReproError(f"campaign {self.campaign_id} has no evaluation")
+        return self.evaluation.mean_time
+
+    @property
+    def cov_percent(self) -> float:
+        if self.evaluation is None:
+            raise ReproError(f"campaign {self.campaign_id} has no evaluation")
+        return self.evaluation.cov_percent
+
+    def to_strategy_run(self):
+        """View this record as the protocol's :class:`StrategyRun`."""
+        from repro.experiments.protocol import StrategyRun
+
+        if not self.ok:
+            raise ReproError(
+                f"campaign {self.campaign_id} failed: {self.error}"
+            )
+        from repro.campaigns.spec import vm_display_name
+
+        return StrategyRun(
+            strategy=self.spec.strategy,
+            app_name=self.spec.app,
+            vm_name=vm_display_name(self.spec.vm),
+            evaluation=self.evaluation,
+            core_hours=self.core_hours,
+            tuning_seconds=self.tuning_seconds,
+            best_index=self.best_index,
+            tuning_result=self.result,
+        )
+
+    def to_payload(self) -> dict:
+        """One store entry's worth of plain JSON (inverse of :meth:`from_payload`)."""
+        return _persistence().jsonable(
+            {
+                "kind": KIND_RECORD,
+                "version": FORMAT_VERSION,
+                "id": self.campaign_id,
+                "status": self.status,
+                "spec": self.spec.to_dict(),
+                "best_index": self.best_index,
+                "core_hours": self.core_hours,
+                "tuning_seconds": self.tuning_seconds,
+                "evaluation": (
+                    asdict(self.evaluation) if self.evaluation is not None else None
+                ),
+                "result": asdict(self.result) if self.result is not None else None,
+                "error": self.error,
+                "traceback": self.traceback,
+                "attempts": self.attempts,
+            }
+        )
+
+    #: Payload keys that describe *how* a record was obtained rather than
+    #: what the campaign computed.  A chaos run that converges must equal a
+    #: fault-free run outside exactly this set.
+    ATTEMPT_METADATA = ("attempts", "traceback")
+
+    def stable_payload(self) -> dict:
+        """:meth:`to_payload` minus attempt metadata.
+
+        The comparison form for fault-tolerance and cross-backend checks:
+        a sweep whose workers were crashed, hung, or transiently failed —
+        but which converged — must have the same stable payloads as a
+        fault-free run, and the same sweep persisted through any backend
+        must have the same stable payloads as any other.
+        """
+        payload = self.to_payload()
+        for key in self.ATTEMPT_METADATA:
+            payload.pop(key, None)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CampaignRecord":
+        """Rebuild a record written by :meth:`to_payload`."""
+        codec = _persistence()
+        return cls(
+            spec=CampaignSpec.from_dict(payload["spec"]),
+            status=payload["status"],
+            best_index=payload["best_index"],
+            core_hours=float(payload["core_hours"]),
+            tuning_seconds=float(payload["tuning_seconds"]),
+            evaluation=(
+                codec.evaluation_from_dict(payload["evaluation"])
+                if payload["evaluation"] is not None
+                else None
+            ),
+            result=(
+                codec.tuning_result_from_dict(payload["result"])
+                if payload["result"] is not None
+                else None
+            ),
+            error=payload.get("error", ""),
+            traceback=payload.get("traceback", ""),
+            attempts=int(payload.get("attempts", 1)),
+        )

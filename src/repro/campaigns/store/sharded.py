@@ -1,0 +1,210 @@
+"""The sharded JSONL directory backend — one store, many append points.
+
+A single JSONL file serialises every writer through one append lock and
+every reader through one front-to-back parse.  The sharded store spreads
+the same line format over a directory::
+
+    sweep.d/
+      meta.json            # {"kind": "sharded_store", "shards": 8, ...}
+      grid.jsonl           # the keep-first campaign_grid header line
+      shard-00.jsonl       # campaign_record lines, hashed here by ID
+      ...
+      shard-07.jsonl
+      ledger / telemetry / profiles   # sidecars live inside the tree
+
+Each campaign ID is routed to ``crc32(id) % shards`` — a *stable* hash, so
+a campaign's retries and resume re-appends always land in the shard that
+already holds its earlier attempts, and in-shard line order alone resolves
+last-write-wins.  Writers to different shards hold different ``flock``\\ s
+and stop contending on one file; the read view merges every shard (and
+tolerates a torn final line in each independently).
+
+The shard count is fixed at creation and persisted in ``meta.json``;
+re-opening an existing store ignores any conflicting ``shards=`` argument
+— re-routing IDs mid-store would break the in-shard last-write-wins
+guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaigns.spec import CampaignGrid
+from repro.campaigns.store.base import (
+    PathLike,
+    ResultStore,
+    StoreLock,
+    flocked,
+    grid_header_payload,
+    iter_payloads,
+    stat_token,
+)
+from repro.campaigns.store.record import (
+    FORMAT_VERSION,
+    KIND_GRID,
+    KIND_RECORD,
+    CampaignRecord,
+)
+from repro.errors import ReproError
+
+#: Default shard count for new stores: enough to spread a 16-worker fleet
+#: across distinct append locks without scattering small sweeps over a
+#: directory of near-empty files.
+DEFAULT_SHARDS = 8
+
+META_FILE = "meta.json"
+GRID_FILE = "grid.jsonl"
+LOCK_FILE = "store.lock"
+
+
+def shard_name(index: int) -> str:
+    return f"shard-{index:02d}.jsonl"
+
+
+class ShardedStore(ResultStore):
+    """Sharded JSONL directory store (``--store-backend sharded``)."""
+
+    backend = "sharded"
+
+    def __init__(self, path: PathLike, shards: Optional[int] = None):
+        super().__init__(path)
+        if shards is not None and shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        self._shards_requested = shards
+        self._shards_cached: Optional[int] = None
+
+    def exists(self) -> bool:
+        return self.path.is_dir()
+
+    def exclusive(self) -> StoreLock:
+        return StoreLock(self.path, lock_path=self.path / LOCK_FILE)
+
+    def sidecar_path(self, kind: str) -> Path:
+        """Sidecars live *inside* the store directory — one self-contained
+        tree that can be moved or uploaded as a unit."""
+        return self.path / kind
+
+    # -- shard routing --------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """The store's shard count (persisted ``meta.json`` wins)."""
+        if self._shards_cached is not None:
+            return self._shards_cached
+        meta = self._read_meta()
+        if meta is not None:
+            self._shards_cached = int(meta["shards"])
+        else:
+            self._shards_cached = self._shards_requested or DEFAULT_SHARDS
+        return self._shards_cached
+
+    def shard_index(self, campaign_id: str) -> int:
+        """Stable shard routing: ``crc32`` (not the salted builtin ``hash``),
+        so the same ID lands in the same shard in every process forever."""
+        return zlib.crc32(campaign_id.encode("utf-8")) % self.shards
+
+    def shard_path(self, index: int) -> Path:
+        return self.path / shard_name(index)
+
+    def shard_paths(self) -> List[Path]:
+        """Every shard file present, sorted by name (the merge order).
+
+        Globbed rather than enumerated from the shard count, so a store
+        directory is fully readable even if its ``meta.json`` was lost.
+        """
+        if not self.path.is_dir():
+            return []
+        return sorted(self.path.glob("shard-*.jsonl"))
+
+    def _read_meta(self) -> Optional[dict]:
+        meta_path = self.path / META_FILE
+        try:
+            with meta_path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _ensure_store(self) -> None:
+        """Create the directory and pin the shard count on first write."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        meta_path = self.path / META_FILE
+        if meta_path.exists():
+            return
+        payload = {
+            "kind": "sharded_store",
+            "version": FORMAT_VERSION,
+            "shards": self.shards,
+        }
+        # O_EXCL: if two writers race to create the store, exactly one
+        # meta.json wins and the loser adopts it (keep-first, like the
+        # grid header).
+        try:
+            fd = os.open(meta_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            self._shards_cached = None  # re-read the winner's count
+            return
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+
+    # -- writing --------------------------------------------------------
+
+    def write_grid(self, grid: CampaignGrid) -> None:
+        """Record the grid header in ``grid.jsonl``, keep-first.
+
+        The emptiness check and the write share one append lock on the
+        header file, so racing sweep starts cannot write duplicates.
+        """
+        self._ensure_store()
+        line = json.dumps(grid_header_payload(grid), sort_keys=True)
+        grid_path = self.path / GRID_FILE
+        with grid_path.open("a", encoding="utf-8") as handle, flocked(handle):
+            if os.fstat(handle.fileno()).st_size > 0:
+                return
+            handle.write(line + "\n")
+            handle.flush()
+        self.invalidate()
+
+    def append(self, record: CampaignRecord) -> None:
+        """Append one record to its ID's shard, under that shard's lock."""
+        self._ensure_store()
+        line = json.dumps(record.to_payload(), sort_keys=True)
+        shard = self.shard_path(self.shard_index(record.campaign_id))
+        with shard.open("a", encoding="utf-8") as handle, flocked(handle):
+            handle.write(line + "\n")
+            handle.flush()
+        self.invalidate()
+
+    # -- reading --------------------------------------------------------
+
+    def _freshness_token(self) -> Optional[tuple]:
+        return stat_token(self.path / GRID_FILE, *self.shard_paths())
+
+    def _load_uncached(
+        self,
+    ) -> Tuple[Optional[CampaignGrid], Dict[str, CampaignRecord]]:
+        """Merged read view: header first, then shards in name order.
+
+        Within a shard, later lines win (retries of a campaign always land
+        in its own shard, so this is the complete last-write-wins story);
+        header lines are keep-first wherever they appear, so a store
+        migrated from a single file that carried its header late still
+        reads the same grid.
+        """
+        grid: Optional[CampaignGrid] = None
+        by_id: Dict[str, CampaignRecord] = {}
+        sources = [self.path / GRID_FILE] + self.shard_paths()
+        for source in sources:
+            for payload in iter_payloads(source):
+                kind = payload.get("kind")
+                if kind == KIND_GRID and grid is None:
+                    grid = CampaignGrid.from_dict(payload["grid"])
+                elif kind == KIND_RECORD:
+                    record = CampaignRecord.from_payload(payload)
+                    by_id[record.campaign_id] = record
+        return grid, by_id

@@ -8,10 +8,13 @@ Subcommands::
     python -m repro table1
     python -m repro sweep --apps redis,lammps --seeds 0,1,2 --jobs 4 \
         --store sweep.jsonl --telemetry --progress
+    python -m repro sweep ... --store sweep.d --store-backend sharded
     python -m repro resume sweep.jsonl --jobs 4
     python -m repro status sweep.jsonl --watch
     python -m repro report sweep.jsonl
     python -m repro report sweep.jsonl --metrics
+    python -m repro store info sweep.jsonl
+    python -m repro store migrate sweep.jsonl sweep.sqlite
     python -m repro cache warm --apps redis,lammps --scale bench
     python -m repro cache info
     python -m repro cache clear
@@ -38,7 +41,9 @@ from repro.caching import SurfaceCache, default_cache_dir
 from repro.campaigns import (
     CampaignGrid,
     CampaignRunner,
-    CampaignStore,
+    ResultStore,
+    migrate_store,
+    open_store,
     failure_table,
     format_table,
     scenario_table,
@@ -48,6 +53,7 @@ from repro.campaigns import (
     summarise_failures,
     summary_table,
 )
+from repro.campaigns.store import BACKEND_NAMES
 from repro.cloud.vm import PRESETS
 from repro.errors import ReproError
 from repro.faults import FaultPlan
@@ -190,13 +196,24 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _is_store(path: str) -> bool:
-    """Sniff whether ``path`` is a campaign store (JSONL) or a single archive."""
-    import json
+    """Sniff whether ``path`` is a campaign store (any backend) or an archive."""
+    import os.path
 
+    from repro.campaigns.store.factory import SQLITE_MAGIC
+
+    if os.path.isdir(path):
+        # Directories are sharded stores; single-campaign archives are files.
+        return True
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(SQLITE_MAGIC))
+    except OSError:
+        return False
+    if head == SQLITE_MAGIC:
+        return True
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            first = handle.readline().strip()
-        payload = json.loads(first)
+            payload = json.loads(handle.readline().strip())
     except (OSError, ValueError):
         return False
     return isinstance(payload, dict) and payload.get("kind") in (
@@ -221,7 +238,7 @@ def _fault_plan_from_args(args: argparse.Namespace):
     return FaultPlan.parse(text) if text else None
 
 
-def _run_sweep(grid: CampaignGrid, store: CampaignStore, jobs: int,
+def _run_sweep(grid: CampaignGrid, store: ResultStore, jobs: int,
                quiet: bool = False, cache_dir: str = "",
                max_retries: int = 2, backoff: float = 0.1,
                task_timeout: float = 0.0, fault_plan=None,
@@ -313,8 +330,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ReproError as exc:
         _LOG.error("bad --inject-faults plan: %s", exc)
         return 2
+    backend = None if args.store_backend == "auto" else args.store_backend
+    try:
+        store = open_store(args.store, backend=backend, shards=args.shards or None)
+    except ReproError as exc:
+        _LOG.error("cannot open store %s: %s", args.store, exc)
+        return 2
     return _run_sweep(
-        grid, CampaignStore(args.store), args.jobs, args.quiet, args.cache_dir,
+        grid, store, args.jobs, args.quiet, args.cache_dir,
         max_retries=args.max_retries, backoff=args.backoff,
         task_timeout=args.task_timeout, fault_plan=fault_plan,
         telemetry=args.telemetry, profile=args.profile,
@@ -323,7 +346,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    store = CampaignStore(args.store)
+    store = open_store(args.store)
     if not store.exists():
         _LOG.error(
             "no store at %s; start one with `repro sweep --store`", store.path
@@ -351,7 +374,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    store = CampaignStore(args.store)
+    store = open_store(args.store)
     if not store.exists():
         _LOG.error(
             "no store at %s; start one with `repro sweep --store`", store.path
@@ -375,7 +398,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if args.metrics:
             print(render_store_metrics(args.path), end="")
             return 0
-        grid, records = CampaignStore(args.path).load()
+        grid, records = open_store(args.path).load()
         if args.failures:
             print(failure_table(
                 summarise_failures(records),
@@ -412,7 +435,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         _LOG.error(
             "%s is a single-campaign archive; %s aggregates sweep stores "
-            "(JSONL written by `repro sweep`)", args.path, flag,
+            "(written by `repro sweep`)", args.path, flag,
         )
         return 2
     result, evaluation, meta = load_campaign(args.path)
@@ -431,6 +454,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if meta.get("notes"):
         rows.append(("notes", meta["notes"]))
     print(render_table(["metric", "value"], rows, title=f"Campaign {args.path}"))
+    return 0
+
+
+def _store_disk_bytes(path) -> int:
+    """Bytes on disk for a store path (sums the tree for directory stores)."""
+    from pathlib import Path
+
+    root = Path(path)
+    if root.is_dir():
+        return sum(
+            p.stat().st_size for p in root.rglob("*") if p.is_file()
+        )
+    try:
+        return root.stat().st_size
+    except OSError:
+        return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    store = open_store(args.path)
+    if not store.exists():
+        _LOG.error("no store at %s", store.path)
+        return 2
+    grid, records = store.load()
+    done = sum(1 for r in records if r.ok)
+    failed = len(records) - done
+    rows = [
+        ("path", str(store.path)),
+        ("backend", store.backend),
+        ("records", len(records)),
+        ("done", done),
+        ("failed", failed),
+        ("grid campaigns", grid.size if grid is not None else "no header"),
+        ("size (KiB)", round(_store_disk_bytes(store.path) / 1024, 1)),
+    ]
+    if grid is not None:
+        done_ids = {r.campaign_id for r in records if r.ok}
+        pending = sum(1 for s in grid.specs() if s.campaign_id not in done_ids)
+        rows.append(("pending", pending))
+    print(render_table(["field", "value"], rows, title=f"store {args.path}"))
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    try:
+        source = open_store(args.source)
+    except ReproError as exc:
+        _LOG.error("cannot open source store %s: %s", args.source, exc)
+        return 2
+    backend = None if args.dst_backend == "auto" else args.dst_backend
+    try:
+        destination = open_store(
+            args.destination, backend=backend, shards=args.shards or None
+        )
+        copied = migrate_store(source, destination)
+    except ReproError as exc:
+        _LOG.error("migrate failed: %s", exc)
+        return 2
+    print(
+        f"migrated {copied} record(s): {source.path} ({source.backend}) "
+        f"-> {destination.path} ({destination.backend})"
+    )
     return 0
 
 
@@ -696,7 +781,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "path",
-        help="campaign JSON written by tune --save, or a sweep JSONL store",
+        help="campaign JSON written by tune --save, or a sweep store "
+             "(any backend)",
     )
     p_report.add_argument(
         "--by-scenario", action="store_true",
@@ -726,8 +812,8 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="live done/running/queued/failed view of a sweep store"
     )
     p_status.add_argument(
-        "store", help="JSONL store written by sweep (its .ledger/.telemetry "
-                      "sidecars are fused in when present)",
+        "store", help="store written by sweep (any backend; its ledger/"
+                      "telemetry sidecars are fused in when present)",
     )
     p_status.add_argument(
         "--watch", action="store_true",
@@ -780,7 +866,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--store", default="campaigns.jsonl",
-        help="JSONL checkpoint store (resumable)",
+        help="checkpoint store path (resumable); backend inferred from the "
+             "path unless --store-backend overrides it",
+    )
+    p_sweep.add_argument(
+        "--store-backend", default="auto",
+        choices=("auto",) + tuple(BACKEND_NAMES),
+        help="store backend: jsonl (single file, the default), sharded "
+             "(directory of per-shard JSONL files for parallel writers), "
+             "sqlite (indexed database); auto sniffs existing stores and "
+             "infers fresh ones from the path suffix (.d -> sharded, "
+             ".sqlite/.db -> sqlite)",
+    )
+    p_sweep.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when creating a new sharded store (default: 8; "
+             "pinned in the store's meta.json thereafter)",
     )
     p_sweep.add_argument(
         "--cache-dir", default="",
@@ -797,7 +898,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume = sub.add_parser(
         "resume", help="finish an interrupted sweep from its store"
     )
-    p_resume.add_argument("store", help="JSONL store written by sweep")
+    p_resume.add_argument(
+        "store", help="store written by sweep (backend is sniffed from disk)"
+    )
     p_resume.add_argument(
         "--jobs", type=int, default=1, help="parallel worker processes"
     )
@@ -844,6 +947,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir(p_cclear)
     p_cclear.set_defaults(func=_cmd_cache_clear)
+
+    p_store = sub.add_parser(
+        "store", help="inspect and convert campaign stores"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_sinfo = store_sub.add_parser(
+        "info", help="backend, record counts, and disk usage of a store"
+    )
+    p_sinfo.add_argument("path", help="store path (any backend)")
+    p_sinfo.set_defaults(func=_cmd_store_info)
+
+    p_smigrate = store_sub.add_parser(
+        "migrate",
+        help="copy a store's grid and records into a fresh store of "
+             "another backend (lossless, both directions)",
+    )
+    p_smigrate.add_argument("source", help="existing store (any backend)")
+    p_smigrate.add_argument(
+        "destination",
+        help="path for the new store; must not already hold records",
+    )
+    p_smigrate.add_argument(
+        "--dst-backend", default="auto",
+        choices=("auto",) + tuple(BACKEND_NAMES),
+        help="destination backend (auto infers from the path suffix: "
+             ".d -> sharded, .sqlite/.db -> sqlite, else jsonl)",
+    )
+    p_smigrate.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when the destination is a new sharded store",
+    )
+    p_smigrate.set_defaults(func=_cmd_store_migrate)
 
     p_cmp = sub.add_parser("compare", help="compare strategies on one app")
     _add_common(p_cmp)

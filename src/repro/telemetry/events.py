@@ -52,10 +52,12 @@ EVENT_TYPES = (TYPE_SPAN, TYPE_COUNTER, TYPE_GAUGE)
 
 
 def telemetry_path_for(store_path: PathLike) -> Path:
-    """Where a store's telemetry journal lives: a ``.telemetry`` sidecar.
+    """The file-backend ``.telemetry`` sidecar convention.
 
     The sibling of :func:`repro.campaigns.dispatch.ledger_path_for` — one
-    store, one family of sidecars.
+    store, one family of sidecars.  Legacy helper: consumers that know
+    their store should ask it via ``store.sidecar_path(SIDECAR_TELEMETRY)``,
+    which directory backends resolve inside the store tree instead.
     """
     store_path = Path(store_path)
     return store_path.with_name(store_path.name + ".telemetry")

@@ -295,9 +295,10 @@ def render_store_metrics(store_path) -> str:
     uses, and dumps the result.  Returns an explanatory line instead when
     the sweep ran without telemetry.
     """
-    from repro.telemetry.events import iter_jsonl_payloads, telemetry_path_for
+    from repro.campaigns.store import SIDECAR_TELEMETRY, open_store
+    from repro.telemetry.events import iter_jsonl_payloads
 
-    path = telemetry_path_for(store_path)
+    path = open_store(store_path).sidecar_path(SIDECAR_TELEMETRY)
     if not path.exists():
         return (
             f"no telemetry sidecar at {path} — run the sweep with "

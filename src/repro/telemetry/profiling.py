@@ -25,7 +25,11 @@ _PROFILE_DIR: Optional[Path] = None
 
 
 def profile_dir_for(store_path: PathLike) -> Path:
-    """Where a store's campaign profiles live: a ``.profiles`` directory."""
+    """The file-backend ``.profiles`` directory convention.
+
+    Legacy helper: consumers that know their store should ask it via
+    ``store.sidecar_path(SIDECAR_PROFILES)``.
+    """
     store_path = Path(store_path)
     return store_path.with_name(store_path.name + ".profiles")
 

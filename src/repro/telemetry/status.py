@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, TextIO, Union
 
-from repro.telemetry.events import iter_jsonl_payloads, telemetry_path_for
+from repro.telemetry.events import iter_jsonl_payloads
 
 PathLike = Union[str, Path]
 
@@ -117,11 +117,18 @@ def snapshot(store_path: PathLike, *, now: Optional[float] = None) -> StatusSnap
     (everything done, ETA gone), quarantine-heavy (failures front and
     centre), or telemetry-less (ledger and store still carry the counts).
     """
-    from repro.campaigns.dispatch import TaskLedger, ledger_path_for
-    from repro.campaigns.store import CampaignStore
+    from repro.campaigns.dispatch import TaskLedger
+    from repro.campaigns.store import (
+        SIDECAR_LEDGER,
+        SIDECAR_TELEMETRY,
+        open_store,
+    )
 
     now = time.time() if now is None else now
-    store = CampaignStore(store_path)
+    # The backend is sniffed from disk, so `repro status` works unchanged
+    # on a JSONL file, a sharded directory, or a SQLite store — and asks
+    # the backend where its ledger/telemetry sidecars live.
+    store = open_store(store_path)
     grid, records = store.load()
 
     done_ids = {r.campaign_id for r in records if r.ok}
@@ -130,7 +137,7 @@ def snapshot(store_path: PathLike, *, now: Optional[float] = None) -> StatusSnap
     retries = sum(max(0, r.attempts - 1) for r in records)
 
     # Replay the lease journal: the last event per campaign is its state.
-    lease_events = TaskLedger.read_events(ledger_path_for(store.path))
+    lease_events = TaskLedger.read_events(store.sidecar_path(SIDECAR_LEDGER))
     last_lease: Dict[str, dict] = {}
     completion_walls: List[float] = []
     workers_running: Dict[int, str] = {}
@@ -172,7 +179,7 @@ def snapshot(store_path: PathLike, *, now: Optional[float] = None) -> StatusSnap
     # (jobs=1) sweep journals no ledger, but its campaign.* events carry
     # the same pace signal.
     telemetry_events = 0
-    for payload in iter_jsonl_payloads(telemetry_path_for(store.path)):
+    for payload in iter_jsonl_payloads(store.sidecar_path(SIDECAR_TELEMETRY)):
         if payload.get("kind") != "telemetry":
             continue
         telemetry_events += 1
