@@ -10,6 +10,17 @@ Quickstart::
     env = CloudEnvironment(VMSpec.preset("m5.8xlarge"), seed=7)
     result = DarwinGame(DarwinGameConfig(seed=1)).tune(app, env)
     print(result.best_values, result.core_hours)
+
+Campaign sweeps go through the stable :mod:`repro.api` facade — the same
+code path ``repro sweep`` and the ``repro serve`` daemon use::
+
+    from repro import CampaignGrid, SweepOptions, submit_grid
+
+    job = submit_grid(
+        CampaignGrid(apps=("redis",), scale="test", eval_runs=2),
+        SweepOptions(store="sweep.jsonl", jobs=4),
+    )
+    print(job.report().to_payload())
 """
 
 from repro.apps import (
@@ -69,11 +80,29 @@ from repro.tuners import (
 )
 from repro.types import ChoiceEvaluation, TuningResult
 
+# The supported programmatic surface (repro.api.__all__); imported last so
+# the facade may lean on everything above.
+from repro import api
+from repro.api import (
+    SUPPORTED_STRATEGIES,
+    JobCancelled,
+    JobHandle,
+    SchemaError,
+    SweepOptions,
+    fetch_report,
+    iter_results,
+    job_status,
+    render_report,
+    submit_grid,
+    validate_grid,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "ABLATION_NAMES",
     "APPLICATION_NAMES",
+    "SUPPORTED_STRATEGIES",
     "ActiveHarmonyLike",
     "ApplicationCache",
     "ApplicationModel",
@@ -94,6 +123,8 @@ __all__ = [
     "HybridTuner",
     "InterferenceProcess",
     "InterferenceTrace",
+    "JobCancelled",
+    "JobHandle",
     "OpenTunerLike",
     "PRESETS",
     "Parameter",
@@ -103,16 +134,22 @@ __all__ = [
     "ResultStore",
     "SCENARIO_NAMES",
     "Scenario",
+    "SchemaError",
     "SearchSpace",
     "ShardedStore",
     "SqliteStore",
     "SurfaceCache",
+    "SweepOptions",
     "SweepReport",
     "SweepSummary",
     "ThompsonSamplingTuner",
     "Tuner",
     "TuningResult",
     "VMSpec",
+    "api",
+    "fetch_report",
+    "iter_results",
+    "job_status",
     "make_application",
     "make_ffmpeg",
     "make_gromacs",
@@ -124,7 +161,10 @@ __all__ = [
     "partition_regions",
     "record_trace",
     "register_scenario",
+    "render_report",
     "split_subspaces",
+    "submit_grid",
     "summarise",
+    "validate_grid",
     "__version__",
 ]

@@ -51,13 +51,20 @@ class ApplicationCache:
         surface cache if one is set — then served from memory, evicting the
         least recently used entry beyond :attr:`maxsize`.
         """
+        from repro.telemetry.events import counter as _telemetry_counter
+
         key: AppKey = (name, scale)
         app = self._entries.get(key)
         if app is not None:
             self._entries.move_to_end(key)
+            # The LRU serves a fully-built model, so the surface cache below
+            # never even sees the lookup; without this counter a warm
+            # process would (wrongly) report no cache activity at all.
+            _telemetry_counter("app_cache.hit", app=name)
             return app
         from repro.apps.registry import make_application
 
+        _telemetry_counter("app_cache.miss", app=name)
         app = make_application(name, scale=scale, cache=process_surface_cache())
         self._entries[key] = app
         while len(self._entries) > self.maxsize:

@@ -10,6 +10,7 @@ Subcommands::
         --store sweep.jsonl --telemetry --progress
     python -m repro sweep ... --store sweep.d --store-backend sharded
     python -m repro resume sweep.jsonl --jobs 4
+    python -m repro serve --port 8765 --data-root serve.d --telemetry
     python -m repro status sweep.jsonl --watch
     python -m repro report sweep.jsonl
     python -m repro report sweep.jsonl --metrics
@@ -23,9 +24,10 @@ Global ``--verbose`` / ``--quiet`` (before the subcommand) tune how chatty
 every command is; progress and status lines flow through the ``repro``
 logger (:mod:`repro.telemetry.log`), result tables through stdout.
 
-The CLI is a thin layer over the library; anything it prints can be
-recomputed programmatically through :mod:`repro.experiments` and
-:mod:`repro.campaigns`.
+The CLI is a thin layer over the library: sweep/resume/status/report and
+the ``serve`` daemon all drive the stable :mod:`repro.api` facade, so
+anything a subcommand prints can be recomputed programmatically (and the
+rest through :mod:`repro.experiments` and :mod:`repro.campaigns`).
 """
 
 from __future__ import annotations
@@ -36,24 +38,11 @@ import os
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.apps.registry import APPLICATION_NAMES, make_application
 from repro.caching import SurfaceCache, default_cache_dir
-from repro.campaigns import (
-    CampaignGrid,
-    CampaignRunner,
-    ResultStore,
-    migrate_store,
-    open_store,
-    failure_table,
-    format_table,
-    scenario_table,
-    summarise,
-    summarise_by_format,
-    summarise_by_scenario,
-    summarise_failures,
-    summary_table,
-)
-from repro.campaigns.store import BACKEND_NAMES
+from repro.campaigns import CampaignGrid, migrate_store, open_store
+from repro.campaigns.store import BACKEND_NAMES, SIDECAR_PROFILES, SIDECAR_TELEMETRY
 from repro.cloud.vm import PRESETS
 from repro.errors import ReproError
 from repro.faults import FaultPlan
@@ -79,7 +68,6 @@ from repro.telemetry import (
     get_logger,
     render_status,
     render_store_metrics,
-    snapshot,
     watch,
 )
 
@@ -238,34 +226,47 @@ def _fault_plan_from_args(args: argparse.Namespace):
     return FaultPlan.parse(text) if text else None
 
 
-def _run_sweep(grid: CampaignGrid, store: ResultStore, jobs: int,
-               quiet: bool = False, cache_dir: str = "",
-               max_retries: int = 2, backoff: float = 0.1,
-               task_timeout: float = 0.0, fault_plan=None,
-               telemetry: bool = False, profile: bool = False,
-               live_progress: bool = False) -> int:
+def _options_from_args(args: argparse.Namespace, store) -> api.SweepOptions:
+    """One :class:`repro.api.SweepOptions` from the shared CLI flags."""
+    backend = getattr(args, "store_backend", "auto")
+    return api.SweepOptions(
+        store=store,
+        store_backend=None if backend == "auto" else backend,
+        shards=getattr(args, "shards", 0) or None,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir or None,
+        max_retries=args.max_retries,
+        backoff=args.backoff,
+        task_timeout=args.task_timeout or None,
+        telemetry=args.telemetry,
+        profile=args.profile,
+        fault_plan=_fault_plan_from_args(args),
+    )
+
+
+def _run_sweep(grid: CampaignGrid, options: api.SweepOptions,
+               quiet: bool = False, live_progress: bool = False) -> int:
+    """Execute a grid through :func:`repro.api.submit_grid` and render the
+    outcome the way ``repro sweep`` always has."""
     # --progress swaps the per-campaign log lines for one in-place meter
     # with throughput and an EWMA ETA; --quiet silences both.
     meter = LiveProgress() if live_progress and not quiet else None
-    runner = CampaignRunner(
-        jobs=jobs, store=store,
-        progress=meter if meter is not None else _progress_printer(quiet),
-        cache_dir=cache_dir or None,
-        max_retries=max_retries, backoff=backoff,
-        task_timeout=task_timeout or None, fault_plan=fault_plan,
-        telemetry=telemetry, profile=profile,
-    )
     try:
-        # The runner writes the grid header itself, inside the store lock.
-        report = runner.run(grid.specs(), grid=grid)
+        job = api.submit_grid(
+            grid, options,
+            progress=meter if meter is not None else _progress_printer(quiet),
+        )
     finally:
         if meter is not None:
             meter.close()
-    print(summary_table(summarise(report.records), title=f"sweep {store.path}"))
+    report = job.result()
+    store = job.store
+    print(api.render_report(
+        job.report(), title=f"sweep {store.path}"
+    ))
     if report.failures:
-        print(failure_table(
-            summarise_failures(report.records),
-            title=f"sweep {store.path} failures",
+        print(api.render_report(
+            job.report(view="failures"), title=f"sweep {store.path} failures"
         ))
     _LOG.info(
         "executed %d, skipped %d already stored, %d retries, "
@@ -273,14 +274,14 @@ def _run_sweep(grid: CampaignGrid, store: ResultStore, jobs: int,
         report.executed, report.skipped, report.retries,
         report.wall_seconds, report.jobs, report.campaigns_per_minute,
     )
-    if telemetry:
+    if options.telemetry:
         _LOG.info(
             "telemetry sidecar: %s (inspect with `repro status %s` or "
             "`repro report %s --metrics`)",
-            runner.telemetry_path, store.path, store.path,
+            store.sidecar_path(SIDECAR_TELEMETRY), store.path, store.path,
         )
-    if profile:
-        _LOG.info("campaign profiles: %s", runner.profile_dir)
+    if options.profile:
+        _LOG.info("campaign profiles: %s", store.sidecar_path(SIDECAR_PROFILES))
     return 1 if report.failures else 0
 
 
@@ -288,65 +289,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def csv(text: str) -> tuple:
         return tuple(s.strip() for s in text.split(",") if s.strip())
 
-    apps = csv(args.apps)
-    unknown = [a for a in apps if a not in APPLICATION_NAMES]
-    if unknown:
-        # Catch the typo here: an unknown app otherwise kills every worker
-        # that leases one of its campaigns, burning the whole retry budget.
-        _LOG.error(
-            "unknown applications: %s; available: %s",
-            unknown, list(APPLICATION_NAMES),
-        )
-        return 2
-    strategies = csv(args.strategies)
-    known = tuple(STRATEGY_NAMES) + _EXTRA_STRATEGIES
-    unknown = [s for s in strategies if s not in known]
-    if unknown:
-        _LOG.error("unknown strategies: %s; available: %s", unknown, list(known))
-        return 2
-    scenarios = csv(args.scenarios)
-    unknown = _unknown_scenarios(scenarios)
-    if unknown:
-        _LOG.error(
-            "unknown scenarios: %s; registered: %s",
-            unknown, list(scenario_names()),
-        )
-        return 2
-    formats = csv(args.formats)
-    if _check_formats(formats):
-        return 2
     grid = CampaignGrid(
-        apps=apps,
-        strategies=strategies,
+        apps=csv(args.apps),
+        strategies=csv(args.strategies),
         vms=csv(args.vms),
         seeds=tuple(int(s) for s in csv(args.seeds)),
         scale=args.scale,
         eval_runs=args.eval_runs,
-        scenarios=scenarios,
-        formats=formats,
+        scenarios=csv(args.scenarios),
+        formats=csv(args.formats),
     )
     try:
-        fault_plan = _fault_plan_from_args(args)
+        # Catch the typo here: an unknown entry on any axis otherwise kills
+        # every worker that leases one of its campaigns, burning the whole
+        # retry budget.  Same gate the daemon and library use.
+        api.validate_grid(grid)
+    except ReproError as exc:
+        _LOG.error("%s", exc)
+        return 2
+    try:
+        options = _options_from_args(args, args.store)
     except ReproError as exc:
         _LOG.error("bad --inject-faults plan: %s", exc)
         return 2
-    backend = None if args.store_backend == "auto" else args.store_backend
     try:
-        store = open_store(args.store, backend=backend, shards=args.shards or None)
+        options.open_store()
     except ReproError as exc:
         _LOG.error("cannot open store %s: %s", args.store, exc)
         return 2
-    return _run_sweep(
-        grid, store, args.jobs, args.quiet, args.cache_dir,
-        max_retries=args.max_retries, backoff=args.backoff,
-        task_timeout=args.task_timeout, fault_plan=fault_plan,
-        telemetry=args.telemetry, profile=args.profile,
-        live_progress=args.progress,
-    )
+    return _run_sweep(grid, options, args.quiet, live_progress=args.progress)
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    store = open_store(args.store)
+    try:
+        store = open_store(args.store)
+    except ReproError as exc:
+        _LOG.error("cannot open store %s: %s", args.store, exc)
+        return 2
     if not store.exists():
         _LOG.error(
             "no store at %s; start one with `repro sweep --store`", store.path
@@ -360,17 +339,33 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        fault_plan = _fault_plan_from_args(args)
+        options = _options_from_args(args, args.store)
     except ReproError as exc:
         _LOG.error("bad --inject-faults plan: %s", exc)
         return 2
-    return _run_sweep(
-        grid, store, args.jobs, args.quiet, args.cache_dir,
-        max_retries=args.max_retries, backoff=args.backoff,
-        task_timeout=args.task_timeout, fault_plan=fault_plan,
-        telemetry=args.telemetry, profile=args.profile,
-        live_progress=args.progress,
+    return _run_sweep(grid, options, args.quiet, live_progress=args.progress)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain CLI runs never pay for the service stack.
+    from repro.service import ServiceConfig, TenantQuota, serve
+
+    try:
+        options = _options_from_args(args, None)
+    except ReproError as exc:
+        _LOG.error("bad --inject-faults plan: %s", exc)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        data_root=args.data_root,
+        options=options,
+        quota=TenantQuota(
+            core_hours=args.quota_core_hours or None,
+            max_active=args.quota_max_active,
+        ),
     )
+    return serve(config)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -383,7 +378,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if args.watch:
         watch(store.path, interval=args.interval)
         return 0
-    snap = snapshot(store.path)
+    snap = api.job_status(store)
     if args.json:
         print(json.dumps(snap.to_payload(), sort_keys=True))
     else:
@@ -398,24 +393,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if args.metrics:
             print(render_store_metrics(args.path), end="")
             return 0
-        grid, records = open_store(args.path).load()
-        if args.failures:
-            print(failure_table(
-                summarise_failures(records),
-                title=f"sweep {args.path} failures",
-            ))
-        elif args.by_scenario:
-            print(scenario_table(
-                summarise_by_scenario(records),
-                title=f"sweep {args.path} by scenario",
-            ))
-        elif args.by_format:
-            print(format_table(
-                summarise_by_format(records),
-                title=f"sweep {args.path} by format",
-            ))
-        else:
-            print(summary_table(summarise(records), title=f"sweep {args.path}"))
+        store = open_store(args.path)
+        grid, records = store.load()
+        view, suffix = (
+            ("failures", " failures") if args.failures
+            else ("by-scenario", " by scenario") if args.by_scenario
+            else ("by-format", " by format") if args.by_format
+            else ("summary", "")
+        )
+        print(api.render_report(
+            api.fetch_report(store, view=view),
+            title=f"sweep {args.path}{suffix}",
+        ))
         if grid is not None:
             done = {r.campaign_id for r in records if r.ok}
             pending = sum(1 for s in grid.specs() if s.campaign_id not in done)
@@ -702,8 +691,39 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_execution(parser: argparse.ArgumentParser) -> None:
+    """The worker-pool and cache knobs every executing command shares
+    (sweep, resume, serve)."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    parser.add_argument(
+        "--cache-dir", default="",
+        help="surface-cache directory: warm it before the sweep and prewarm "
+             "every worker from it (empty = no persistent cache)",
+    )
+
+
+def _add_store_backend(parser: argparse.ArgumentParser) -> None:
+    """The store-backend selection knobs (sweep, resume, serve)."""
+    parser.add_argument(
+        "--store-backend", default="auto",
+        choices=("auto",) + tuple(BACKEND_NAMES),
+        help="store backend: jsonl (single file, the default), sharded "
+             "(directory of per-shard JSONL files for parallel writers), "
+             "sqlite (indexed database); auto sniffs existing stores and "
+             "infers fresh ones from the path suffix (.d -> sharded, "
+             ".sqlite/.db -> sqlite)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when creating a new sharded store (default: 8; "
+             "pinned in the store's meta.json thereafter)",
+    )
+
+
 def _add_observability(parser: argparse.ArgumentParser) -> None:
-    """The sweep/resume telemetry, progress, and profiling opt-ins."""
+    """The telemetry and profiling opt-ins (sweep, resume, serve)."""
     parser.add_argument(
         "--telemetry", action="store_true",
         help="journal structured span/counter/gauge events to the store's "
@@ -711,14 +731,21 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
              "inspect with `repro status` or `repro report --metrics`",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="capture per-campaign cProfile stats into the store's "
+             ".profiles directory (one .pstats file per attempt)",
+    )
+
+
+def _add_progress(parser: argparse.ArgumentParser) -> None:
+    """The interactive progress toggles (sweep, resume — not serve)."""
+    parser.add_argument(
         "--progress", action="store_true",
         help="replace per-campaign progress lines with one in-place meter "
              "showing done/failed counts, throughput, and an EWMA ETA",
     )
     parser.add_argument(
-        "--profile", action="store_true",
-        help="capture per-campaign cProfile stats into the store's "
-             ".profiles directory (one .pstats file per attempt)",
+        "--quiet", action="store_true", help="suppress per-campaign progress"
     )
 
 
@@ -862,35 +889,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="post-tuning evaluation executions per campaign",
     )
     p_sweep.add_argument(
-        "--jobs", type=int, default=1, help="parallel worker processes"
-    )
-    p_sweep.add_argument(
         "--store", default="campaigns.jsonl",
         help="checkpoint store path (resumable); backend inferred from the "
              "path unless --store-backend overrides it",
     )
-    p_sweep.add_argument(
-        "--store-backend", default="auto",
-        choices=("auto",) + tuple(BACKEND_NAMES),
-        help="store backend: jsonl (single file, the default), sharded "
-             "(directory of per-shard JSONL files for parallel writers), "
-             "sqlite (indexed database); auto sniffs existing stores and "
-             "infers fresh ones from the path suffix (.d -> sharded, "
-             ".sqlite/.db -> sqlite)",
-    )
-    p_sweep.add_argument(
-        "--shards", type=int, default=0,
-        help="shard count when creating a new sharded store (default: 8; "
-             "pinned in the store's meta.json thereafter)",
-    )
-    p_sweep.add_argument(
-        "--cache-dir", default="",
-        help="surface-cache directory: warm it before the sweep and prewarm "
-             "every worker from it (empty = no persistent cache)",
-    )
-    p_sweep.add_argument(
-        "--quiet", action="store_true", help="suppress per-campaign progress"
-    )
+    _add_execution(p_sweep)
+    _add_store_backend(p_sweep)
+    _add_progress(p_sweep)
     _add_fault_tolerance(p_sweep)
     _add_observability(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -901,19 +906,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument(
         "store", help="store written by sweep (backend is sniffed from disk)"
     )
-    p_resume.add_argument(
-        "--jobs", type=int, default=1, help="parallel worker processes"
-    )
-    p_resume.add_argument(
-        "--cache-dir", default="",
-        help="surface-cache directory (see sweep --cache-dir)",
-    )
-    p_resume.add_argument(
-        "--quiet", action="store_true", help="suppress per-campaign progress"
-    )
+    _add_execution(p_resume)
+    _add_progress(p_resume)
     _add_fault_tolerance(p_resume)
     _add_observability(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the tuning service: a long-lived HTTP/JSON daemon over "
+             "the same facade sweep/resume use",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port to bind (0 = pick)"
+    )
+    p_serve.add_argument(
+        "--data-root", default="repro-serve.d",
+        help="directory holding one store per (tenant, job); every store "
+             "remains readable by `repro status` / `report` / `resume`",
+    )
+    p_serve.add_argument(
+        "--quota-core-hours", type=float, default=0.0,
+        help="per-tenant core-hour budget; submissions past it get HTTP "
+             "429 (0 = unmetered)",
+    )
+    p_serve.add_argument(
+        "--quota-max-active", type=int, default=8,
+        help="per-tenant cap on queued-plus-running jobs (default: 8)",
+    )
+    _add_execution(p_serve)
+    _add_store_backend(p_serve)
+    _add_fault_tolerance(p_serve)
+    _add_observability(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="manage the persistent application-surface cache"
@@ -1021,6 +1049,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         # raise again, and exit quietly like any well-behaved filter.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+
+
+# -- deprecated aliases ---------------------------------------------------
+
+#: Names that used to live in (or be re-exported from) this module before
+#: the sweep path moved behind :mod:`repro.api`.  Importing them from here
+#: still works but warns; new code should use the canonical home.
+_MOVED = {
+    "CampaignRunner": ("repro.campaigns", "CampaignRunner"),
+    "ResultStore": ("repro.campaigns", "ResultStore"),
+    "snapshot": ("repro.telemetry", "snapshot"),
+    "summarise": ("repro.campaigns", "summarise"),
+    "summarise_by_format": ("repro.campaigns", "summarise_by_format"),
+    "summarise_by_scenario": ("repro.campaigns", "summarise_by_scenario"),
+    "summarise_failures": ("repro.campaigns", "summarise_failures"),
+    "summary_table": ("repro.campaigns", "summary_table"),
+    "scenario_table": ("repro.campaigns", "scenario_table"),
+    "format_table": ("repro.campaigns", "format_table"),
+    "failure_table": ("repro.campaigns", "failure_table"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _MOVED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.cli.{name} is deprecated; import {attr} from {module_name} "
+        f"(or use the repro.api facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), attr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,182 @@
+"""The stable ``repro.api`` facade: validation, submission, reads, wire."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.campaigns import CampaignGrid, open_store
+from repro.cli import main
+from repro.errors import ReproError
+
+
+def _grid(**overrides):
+    base = dict(
+        apps=("redis",), strategies=("DarwinGame",), seeds=(0, 1),
+        scale="test", eval_runs=10,
+    )
+    base.update(overrides)
+    return CampaignGrid(**base)
+
+
+def _stable_rows(store_path):
+    """Every stored record's stable payload, sorted — the bit-identity form."""
+    return sorted(
+        json.dumps(r.stable_payload(), sort_keys=True)
+        for r in open_store(str(store_path)).records()
+    )
+
+
+class TestValidateGrid:
+    def test_valid_grid_passes_through(self):
+        grid = _grid()
+        assert api.validate_grid(grid) is grid
+
+    @pytest.mark.parametrize("overrides, needle", [
+        (dict(apps=("redis", "nginx")), "unknown applications"),
+        (dict(strategies=("Nope",)), "unknown strategies"),
+        (dict(vms=("v5.tiny",)), "unknown VM presets"),
+        (dict(scenarios=("tsunami",)), "unknown scenarios"),
+        (dict(formats=("bracketology",)), "unknown tournament formats"),
+        (dict(scale="smoke"), "unknown scale"),
+        (dict(eval_runs=0), "eval_runs must be >= 1"),
+        (dict(seeds=()), "at least one seed"),
+    ])
+    def test_each_axis_is_gated_before_dispatch(self, overrides, needle):
+        with pytest.raises(ReproError, match=needle):
+            api.validate_grid(_grid(**overrides))
+
+    def test_message_names_the_flag_to_fix(self):
+        with pytest.raises(ReproError, match=r"\(fix --apps\)"):
+            api.validate_grid(_grid(apps=("redis", "nginx")))
+
+    def test_extended_strategies_are_supported(self):
+        for name in ("ThompsonSampling", "GeneticAlgorithm"):
+            assert name in api.SUPPORTED_STRATEGIES
+            api.validate_grid(_grid(strategies=(name,)))
+
+
+class TestSubmitGrid:
+    def test_blocking_submit_with_store(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        job = api.submit_grid(
+            _grid(), api.SweepOptions(store=str(store))
+        )
+        assert job.done and job.state == "done"
+        report = job.result()
+        assert report.executed == 2 and not report.failures
+        assert store.exists()
+
+    def test_storeless_submit_keeps_results_in_memory(self):
+        job = api.submit_grid(_grid(seeds=(0,)))
+        assert job.store is None
+        records = list(api.iter_results(job))
+        assert len(records) == 1 and records[0].ok
+
+    def test_invalid_grid_rejected_before_any_work(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        with pytest.raises(ReproError, match="unknown applications"):
+            api.submit_grid(
+                _grid(apps=("nope",)), api.SweepOptions(store=str(store))
+            )
+        assert not store.exists()
+
+    def test_nonblocking_submit_returns_live_handle(self, tmp_path):
+        job = api.submit_grid(
+            _grid(seeds=(0,)),
+            api.SweepOptions(store=str(tmp_path / "s.jsonl")),
+            block=False,
+        )
+        report = job.result(timeout=120)
+        assert job.done and report.executed in (0, 1)
+
+    def test_resubmission_resumes_from_the_store(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        options = api.SweepOptions(store=str(store))
+        api.submit_grid(_grid(), options)
+        report = api.submit_grid(_grid(), options).result()
+        assert report.executed == 0 and report.skipped == 2
+
+    def test_job_id_is_content_hashed_and_salted(self):
+        a, b = _grid(), _grid()
+        assert api.job_id_for(a) == api.job_id_for(b)
+        assert api.job_id_for(a) != api.job_id_for(_grid(seeds=(0,)))
+        assert api.job_id_for(a, salt="t1") != api.job_id_for(a, salt="t2")
+
+    def test_facade_sweep_bit_identical_to_cli_sweep(self, tmp_path):
+        cli_store = tmp_path / "cli.jsonl"
+        assert main([
+            "sweep", "--apps", "redis", "--seeds", "0,1", "--scale", "test",
+            "--eval-runs", "10", "--store", str(cli_store), "--quiet",
+        ]) == 0
+        api_store = tmp_path / "api.jsonl"
+        api.submit_grid(_grid(), api.SweepOptions(store=str(api_store)))
+        assert _stable_rows(api_store) == _stable_rows(cli_store)
+
+
+class TestReadSide:
+    @pytest.fixture()
+    def job(self, tmp_path):
+        return api.submit_grid(
+            _grid(scenarios=("steady", "bursty")),
+            api.SweepOptions(store=str(tmp_path / "s.jsonl")),
+        )
+
+    def test_status_snapshot(self, job):
+        snap = api.job_status(job)
+        assert snap.done == 4 and snap.total == 4
+
+    def test_iter_results_is_sorted_and_paginated(self, job):
+        everything = list(api.iter_results(job))
+        ids = [r.campaign_id for r in everything]
+        assert ids == sorted(ids) and len(ids) == 4
+        page = list(api.iter_results(job, offset=1, limit=2))
+        assert [r.campaign_id for r in page] == ids[1:3]
+        assert list(api.iter_results(job, offset=99)) == []
+
+    def test_iter_results_rejects_bad_pagination(self, job):
+        with pytest.raises(ReproError, match="offset"):
+            list(api.iter_results(job, offset=-1))
+
+    def test_fetch_report_views_and_render(self, job):
+        for view in api.REPORT_VIEWS:
+            summary = api.fetch_report(job, view=view)
+            assert isinstance(summary.to_payload(), dict)
+            assert isinstance(api.render_report(summary), str)
+        with pytest.raises(ReproError, match="unknown report view"):
+            api.fetch_report(job, view="pie-chart")
+
+    def test_read_side_accepts_store_paths_too(self, job):
+        snap = api.job_status(str(job.store.path))
+        assert snap.done == 4
+
+
+class TestWireFormat:
+    def test_schema_errors_carry_json_paths(self):
+        with pytest.raises(api.SchemaError, match=r"\$\.grid\.seeds\[0\]"):
+            api.validate_payload(
+                {"grid": {"apps": ["redis"], "seeds": ["zero"]}},
+                api.SWEEP_REQUEST_SCHEMA,
+            )
+
+    def test_unknown_request_keys_rejected(self):
+        with pytest.raises(api.SchemaError, match="unknown key"):
+            api.validate_payload(
+                {"grid": {"apps": ["redis"]}, "store": "/etc/passwd"},
+                api.SWEEP_REQUEST_SCHEMA,
+            )
+
+    def test_grid_round_trips_through_payload(self):
+        grid = _grid(scenarios=("steady", "bursty"))
+        assert api.grid_from_payload(grid.to_dict()) == grid
+
+    def test_options_merge_over_defaults(self):
+        defaults = api.SweepOptions(telemetry=True, jobs=4)
+        merged = api.options_from_payload({"jobs": 2}, defaults=defaults)
+        assert merged.jobs == 2 and merged.telemetry is True
+
+    def test_options_payload_cannot_name_a_store(self):
+        with pytest.raises(api.SchemaError, match="unknown key"):
+            api.validate_payload(
+                {"store": "evil.jsonl"}, api.OPTIONS_SCHEMA
+            )

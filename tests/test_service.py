@@ -1,0 +1,326 @@
+"""End-to-end coverage for the ``repro serve`` tuning service."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.campaigns import open_store
+from repro.cli import main
+from repro.service import ReproService, ServiceConfig, TENANT_HEADER, TenantQuota
+from repro.telemetry.events import iter_jsonl_payloads
+
+GRID = {
+    "apps": ["redis"], "strategies": ["DarwinGame"], "seeds": [0, 1],
+    "scale": "test", "eval_runs": 10,
+}
+
+
+def _request(method, url, body=None, tenant=None):
+    """One HTTP round-trip; returns (status, decoded JSON or text)."""
+    request = urllib.request.Request(url, method=method)
+    if tenant is not None:
+        request.add_header(TENANT_HEADER, tenant)
+    data = None
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, data=data, timeout=60) as response:
+            raw = response.read()
+            if "json" in response.headers.get("Content-Type", ""):
+                return response.status, json.loads(raw)
+            return response.status, raw.decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait_done(base, job_id, tenant, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = _request("GET", f"{base}/v1/sweeps/{job_id}", tenant=tenant)
+        assert status == 200
+        if body["job"]["state"] in ("done", "failed", "cancelled"):
+            return body["job"]
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+def _stable_rows(store_path):
+    return sorted(
+        json.dumps(r.stable_payload(), sort_keys=True)
+        for r in open_store(str(store_path)).records()
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(port=0, data_root=tmp_path / "serve.d")
+    with ReproService(config) as running:
+        yield running
+
+
+class TestEndToEnd:
+    def test_submit_poll_results_report(self, service):
+        base = service.url
+        status, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        assert status == 202
+        job_id = body["job"]["id"]
+        assert body["job"]["links"]["results"].endswith(f"{job_id}/results")
+
+        job = _wait_done(base, job_id, "alice")
+        assert job["state"] == "done"
+        assert job["status"]["done"] == 2 and job["status"]["total"] == 2
+
+        status, page = _request(
+            "GET", f"{base}/v1/sweeps/{job_id}/results?limit=1", tenant="alice"
+        )
+        assert status == 200
+        assert page["total"] == 2 and page["count"] == 1
+        assert page["next_offset"] == 1
+        status, rest = _request(
+            "GET", f"{base}/v1/sweeps/{job_id}/results?offset=1", tenant="alice"
+        )
+        assert rest["count"] == 1 and rest["next_offset"] is None
+        first_ids = {r["id"] for r in page["records"]}
+        assert first_ids.isdisjoint({r["id"] for r in rest["records"]})
+
+        for view in ("summary", "by-scenario", "by-format", "failures"):
+            status, report = _request(
+                "GET", f"{base}/v1/sweeps/{job_id}/report?view={view}",
+                tenant="alice",
+            )
+            assert status == 200 and report["view"] == view
+
+    def test_http_sweep_bit_identical_to_cli_sweep(self, service, tmp_path):
+        base = service.url
+        status, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        assert status == 202
+        job = _wait_done(base, body["job"]["id"], "alice")
+
+        cli_store = tmp_path / "cli.jsonl"
+        assert main([
+            "sweep", "--apps", "redis", "--seeds", "0,1", "--scale", "test",
+            "--eval-runs", "10", "--store", str(cli_store), "--quiet",
+        ]) == 0
+        assert _stable_rows(job["store"]) == _stable_rows(cli_store)
+
+    def test_served_store_is_a_plain_resumable_store(self, service):
+        base = service.url
+        status, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        job = _wait_done(base, body["job"]["id"], "alice")
+        # The per-tenant store the daemon wrote is CLI-readable as-is.
+        assert main(["status", job["store"], "--json"]) == 0
+
+
+class TestConcurrencyAndCaching:
+    def test_two_concurrent_clients_both_complete(self, service):
+        base = service.url
+        grids = {
+            "alice": GRID,
+            "bob": dict(GRID, seeds=[2]),
+        }
+        outcomes = {}
+
+        def submit(tenant):
+            outcomes[tenant] = _request(
+                "POST", f"{base}/v1/sweeps", {"grid": grids[tenant]},
+                tenant=tenant,
+            )
+
+        threads = [
+            threading.Thread(target=submit, args=(t,)) for t in grids
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for tenant, (status, body) in outcomes.items():
+            assert status == 202, (tenant, body)
+            job = _wait_done(base, body["job"]["id"], tenant)
+            assert job["state"] == "done"
+
+    def test_second_tenant_rides_the_warm_application_cache(self, service):
+        base = service.url
+        _, first = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        _wait_done(base, first["job"]["id"], "alice")
+
+        _, second = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": dict(GRID, seeds=[7])},
+            tenant="bob",
+        )
+        job = _wait_done(base, second["job"]["id"], "bob")
+
+        sidecar = open_store(job["store"]).sidecar_path("telemetry")
+        hits = [
+            p for p in iter_jsonl_payloads(sidecar)
+            if p.get("kind") == "telemetry"
+            and p.get("name") == "app_cache.hit"
+        ]
+        # Alice's sweep built redis@test; bob's reuses it from the shared
+        # in-process LRU, and his own sidecar says so.
+        assert hits, "expected app_cache.hit events in the second sweep"
+
+    def test_resubmitting_the_same_grid_is_idempotent(self, service):
+        base = service.url
+        _, first = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        _wait_done(base, first["job"]["id"], "alice")
+        _, again = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        assert again["job"]["id"] == first["job"]["id"]
+        assert _wait_done(base, again["job"]["id"], "alice")["state"] == "done"
+
+
+class TestErrors:
+    def test_malformed_spec_is_400_with_json_path(self, service):
+        status, body = _request(
+            "POST", f"{service.url}/v1/sweeps",
+            {"grid": dict(GRID, seeds=["zero"])}, tenant="alice",
+        )
+        assert status == 400
+        assert "$.grid.seeds[0]" in body["error"]
+
+    def test_unregistered_axis_entry_is_400_with_fix_hint(self, service):
+        status, body = _request(
+            "POST", f"{service.url}/v1/sweeps",
+            {"grid": dict(GRID, apps=["nginx"])}, tenant="alice",
+        )
+        assert status == 400
+        assert "unknown applications" in body["error"]
+        assert "(fix --apps)" in body["error"]
+
+    def test_not_json_is_400(self, service):
+        request = urllib.request.Request(
+            f"{service.url}/v1/sweeps", method="POST", data=b"not json",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+
+    def test_foreign_and_unknown_jobs_are_404(self, service):
+        base = service.url
+        _, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        job_id = body["job"]["id"]
+        status, _ = _request("GET", f"{base}/v1/sweeps/{job_id}", tenant="bob")
+        assert status == 404
+        status, _ = _request("GET", f"{base}/v1/sweeps/job-000", tenant="alice")
+        assert status == 404
+        _wait_done(base, job_id, "alice")
+
+    def test_options_cannot_smuggle_a_store_path(self, service):
+        status, body = _request(
+            "POST", f"{service.url}/v1/sweeps",
+            {"grid": GRID, "options": {"store": "/tmp/evil.jsonl"}},
+            tenant="alice",
+        )
+        assert status == 400 and "store" in body["error"]
+
+
+class TestQuota:
+    def test_core_hour_quota_returns_429(self, tmp_path):
+        config = ServiceConfig(
+            port=0, data_root=tmp_path / "serve.d",
+            quota=TenantQuota(core_hours=1e-12),
+        )
+        with ReproService(config) as service:
+            base = service.url
+            status, body = _request(
+                "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+            )
+            assert status == 202  # nothing spent yet -> admitted
+            _wait_done(base, body["job"]["id"], "alice")
+            status, body = _request(
+                "POST", f"{base}/v1/sweeps",
+                {"grid": dict(GRID, seeds=[9])}, tenant="alice",
+            )
+            assert status == 429
+            assert "core-hour quota" in body["error"]
+            # Quotas are per tenant: bob is unaffected by alice's spend.
+            status, body = _request(
+                "POST", f"{base}/v1/sweeps",
+                {"grid": dict(GRID, seeds=[9])}, tenant="bob",
+            )
+            assert status == 202
+            _wait_done(base, body["job"]["id"], "bob")
+
+    def test_active_job_cap_returns_429(self, tmp_path):
+        config = ServiceConfig(
+            port=0, data_root=tmp_path / "serve.d",
+            quota=TenantQuota(max_active=1),
+        )
+        with ReproService(config) as service:
+            base = service.url
+            status, first = _request(
+                "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+            )
+            assert status == 202
+            status, body = _request(
+                "POST", f"{base}/v1/sweeps",
+                {"grid": dict(GRID, seeds=[3])}, tenant="alice",
+            )
+            assert status == 429
+            assert "active job" in body["error"]
+            _wait_done(base, first["job"]["id"], "alice")
+
+
+class TestOperations:
+    def test_cancel_via_delete(self, service):
+        base = service.url
+        # A queued job cancels cleanly even if it never started.
+        _, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": dict(GRID, seeds=[11])},
+            tenant="alice",
+        )
+        job_id = body["job"]["id"]
+        status, _ = _request(
+            "DELETE", f"{base}/v1/sweeps/{job_id}", tenant="alice"
+        )
+        assert status == 200
+        assert _wait_done(base, job_id, "alice")["state"] in (
+            "done", "cancelled"
+        )
+
+    def test_metrics_exposition(self, service):
+        base = service.url
+        _, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        _wait_done(base, body["job"]["id"], "alice")
+        status, text = _request("GET", f"{base}/metrics")
+        assert status == 200
+        assert 'service_jobs{state="done"} 1' in text
+        assert 'service_core_hours{tenant="alice"}' in text
+        # The job ran with telemetry on, so its replayed sweep counters are
+        # part of the same exposition.
+        assert "sweep_start" in text or "campaign_done" in text
+
+    def test_healthz_and_job_listing(self, service):
+        base = service.url
+        assert _request("GET", f"{base}/healthz")[0] == 200
+        _, body = _request(
+            "POST", f"{base}/v1/sweeps", {"grid": GRID}, tenant="alice"
+        )
+        status, listing = _request("GET", f"{base}/v1/sweeps", tenant="alice")
+        assert status == 200
+        assert [j["id"] for j in listing["jobs"]] == [body["job"]["id"]]
+        assert _request("GET", f"{base}/v1/sweeps", tenant="bob")[1] == {
+            "jobs": []
+        }
+        _wait_done(base, body["job"]["id"], "alice")
