@@ -47,5 +47,61 @@ BENCH_JSON="$staging" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         benchmarks/test_perf_sweep.py \
         benchmarks/test_perf_store.py -q -s -m benchmark "$@"
 
+# Before/after report: compare each fresh row against the most recent prior
+# row of the same benchmark id (same benchmark + same conditions: cache,
+# jobs, scenario, format, exec mode, backend...) so a perf regression or win
+# is visible in the run output, not just buried in the trajectory file.
+python - "$out" "$staging" <<'PYEOF'
+import json, sys
+
+MEASURED = {
+    "date", "machine", "python", "wall_seconds", "records_per_second",
+    "campaigns_per_minute", "core_hours", "tuning_seconds",
+    "speedup_vs_seed_baseline", "retries", "winner_index", "evaluations",
+}
+RATES = ("campaigns_per_minute", "records_per_second")
+
+def rows(path):
+    try:
+        with open(path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+    except FileNotFoundError:
+        return []
+
+def bench_id(row):
+    # Rows written before the exec-mode axis existed ran the process path.
+    row = dict(row)
+    row.setdefault("exec_mode", "process")
+    return tuple(sorted((k, row[k]) for k in row if k not in MEASURED))
+
+history = {}
+for row in rows(sys.argv[1]):
+    history[bench_id(row)] = row  # last same-id row wins
+
+for row in rows(sys.argv[2]):
+    prev = history.get(bench_id(row))
+    conds = ", ".join(
+        f"{k}={v}" for k, v in sorted(row.items())
+        if k not in MEASURED and k != "benchmark"
+    )
+    label = row.get("benchmark", "?") + (f" [{conds}]" if conds else "")
+    rate = next((k for k in RATES if k in row), None)
+    if prev is None:
+        print(f"  {label}: first measurement "
+              f"(wall {row.get('wall_seconds', '?')}s)")
+        continue
+    if rate and rate in prev:
+        new, old = row[rate], prev[rate]
+        pct = 100.0 * (new - old) / old if old else 0.0
+        print(f"  {label}: {old} -> {new} {rate.replace('_per_', '/')} "
+              f"({pct:+.1f}% vs {prev.get('date', '?')})")
+    else:
+        new, old = row.get("wall_seconds"), prev.get("wall_seconds")
+        if new is not None and old is not None:
+            pct = 100.0 * (new - old) / old if old else 0.0
+            print(f"  {label}: {old}s -> {new}s wall "
+                  f"({pct:+.1f}% vs {prev.get('date', '?')})")
+PYEOF
+
 cat "$staging" >> "$out"
 echo "perf trajectory appended to $out ($(wc -l < "$staging") row(s))"

@@ -70,15 +70,22 @@ def rank_with_ties(values: Sequence[float], *, descending: bool = False) -> np.n
     arr = np.asarray(values, dtype=float)
     if descending:
         arr = -arr
+    n = arr.size
+    ranks = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return ranks
     order = np.argsort(arr, kind="stable")
-    ranks = np.empty(arr.size, dtype=np.int64)
-    rank = 0
-    prev = None
-    for pos, idx in enumerate(order):
-        if prev is None or arr[idx] != prev:
-            rank = pos + 1
-            prev = arr[idx]
-        ranks[idx] = rank
+    sorted_vals = arr[order]
+    # Competition rank = 1 + sorted position of the value's first occurrence
+    # (ties share their group's first position; a strict inequality starts a
+    # new group, so NaNs — never equal to anything — each start their own).
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=new_group[1:])
+    group_first = np.maximum.accumulate(
+        np.where(new_group, np.arange(1, n + 1), 0)
+    )
+    ranks[order] = group_first
     return ranks
 
 

@@ -228,6 +228,7 @@ class SweepOptions:
     telemetry: bool = False
     profile: bool = False
     fault_plan: Optional[FaultPlan] = None
+    exec_mode: str = "process"
 
     def open_store(self) -> Optional[ResultStore]:
         """The store these options describe (``None`` = in-memory run)."""
@@ -367,6 +368,7 @@ class JobHandle:
             fault_plan=options.fault_plan,
             telemetry=options.telemetry,
             profile=options.profile,
+            exec_mode=options.exec_mode,
         )
         try:
             report = runner.run(self.grid.specs(), grid=self.grid)
@@ -618,6 +620,7 @@ OPTIONS_SCHEMA = {
         "task_timeout": {"type": "number", "minimum": 0},
         "telemetry": {"type": "boolean"},
         "profile": {"type": "boolean"},
+        "exec_mode": {"type": "string", "enum": ["process", "stacked"]},
     },
 }
 

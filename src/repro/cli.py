@@ -226,9 +226,32 @@ def _fault_plan_from_args(args: argparse.Namespace):
     return FaultPlan.parse(text) if text else None
 
 
+def _apply_array_backend(args: argparse.Namespace) -> None:
+    """Activate ``--array-backend`` (or ``REPRO_ARRAY_BACKEND``) process-wide.
+
+    Falling back (backend absent / probe failure) is the backend layer's
+    job and already logged there; the CLI only reports what was activated
+    when it differs from the request.
+    """
+    requested = getattr(args, "array_backend", "")
+    if not requested:
+        return
+    from repro.backend import set_array_backend
+
+    backend = set_array_backend(requested)
+    if backend.name != requested:
+        _LOG.warning(
+            "--array-backend %s unavailable; running on %s",
+            requested, backend.name,
+        )
+    else:
+        _LOG.info("array backend: %s", backend.name)
+
+
 def _options_from_args(args: argparse.Namespace, store) -> api.SweepOptions:
     """One :class:`repro.api.SweepOptions` from the shared CLI flags."""
     backend = getattr(args, "store_backend", "auto")
+    _apply_array_backend(args)
     return api.SweepOptions(
         store=store,
         store_backend=None if backend == "auto" else backend,
@@ -241,6 +264,7 @@ def _options_from_args(args: argparse.Namespace, store) -> api.SweepOptions:
         telemetry=args.telemetry,
         profile=args.profile,
         fault_plan=_fault_plan_from_args(args),
+        exec_mode=getattr(args, "exec_mode", "process"),
     )
 
 
@@ -701,6 +725,22 @@ def _add_execution(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default="",
         help="surface-cache directory: warm it before the sweep and prewarm "
              "every worker from it (empty = no persistent cache)",
+    )
+    parser.add_argument(
+        "--exec-mode", default="process", choices=("process", "stacked"),
+        help="process (default): inline or worker-pool execution per --jobs; "
+             "stacked: run campaigns in lockstep in one process, fusing "
+             "concurrent tournament rounds of same-key campaigns into one "
+             "tensor pass — the 1-core throughput lever; results are "
+             "bit-identical across modes",
+    )
+    parser.add_argument(
+        "--array-backend", default="",
+        choices=("", "numpy", "cupy", "jax"),
+        help="array namespace for the simulation hot path (repro.xp): numpy "
+             "(default), or cupy/jax when installed; a backend that is "
+             "absent or fails its capability probe falls back to numpy "
+             "with a warning (env: REPRO_ARRAY_BACKEND)",
     )
 
 

@@ -25,6 +25,7 @@ import math
 
 import numpy as np
 
+import repro.xp as xp
 from repro.cloud.vm import InterferenceProfile
 from repro.errors import CloudError
 from repro.rng import SeedLike, child, ensure_rng
@@ -51,18 +52,20 @@ def ar1_scan(rho: float, state: float, innovations: np.ndarray) -> np.ndarray:
 
     ``rho`` must lie in ``[0, 1]`` (our decay/correlation coefficients
     always do); negative coefficients are rejected.
+
+    The scan runs on :mod:`repro.xp` (numpy unless an accelerator backend is
+    active), since it sits under every trajectory and walk-table draw.
     """
     if not 0.0 <= rho <= 1.0:
         raise CloudError(f"ar1_scan requires rho in [0, 1], got {rho}")
-    eps = np.asarray(innovations, dtype=float)
+    eps = xp.asarray(innovations, dtype=float)
     n = eps.size
-    out = np.empty(n)
+    out = xp.empty(n)
     if n == 0:
         return out
     if rho == 0.0:
         # Memoryless limit (e.g. segment length >> correlation time).
-        np.copyto(out, eps)
-        return out
+        return eps.copy()
     if rho < 1.0:
         chunk = max(1, int(100.0 / max(-math.log10(rho), 1e-18)))
     else:  # pragma: no cover - rho is always < 1 for our processes
@@ -70,8 +73,8 @@ def ar1_scan(rho: float, state: float, innovations: np.ndarray) -> np.ndarray:
     pos = 0
     while pos < n:
         m = min(chunk, n - pos)
-        powers = rho ** np.arange(1, m + 1)
-        seg = powers * (state + np.cumsum(eps[pos:pos + m] / powers))
+        powers = rho ** xp.arange(1, m + 1)
+        seg = powers * (state + xp.cumsum(eps[pos:pos + m] / powers))
         out[pos:pos + m] = seg
         state = float(seg[-1])
         pos += m

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.xp as xp
 from repro.apps.model import ApplicationModel
 from repro.cloud.environment import CloudEnvironment
 from repro.core.config import DarwinGameConfig
@@ -155,10 +156,14 @@ class MatchExecutor:
         """
         if winner_pos is None:
             winner_pos = report.winner_position
-        order = np.argsort(-np.asarray(report.execution_scores), kind="stable")
-        ranking = (winner_pos,) + tuple(
-            int(i) for i in order if int(i) != winner_pos
-        )
+        # The round already computed scores as an ndarray; sorting it directly
+        # skips the tuple->array re-copy this used to pay on every game, which
+        # multiplies under the stacked executor.
+        scores = report.scores
+        if scores is None:
+            scores = np.asarray(report.execution_scores)
+        order = xp.argsort(-scores, kind="stable").tolist()
+        ranking = (winner_pos,) + tuple(i for i in order if i != winner_pos)
         return RecordedMatch(players=report.indices, ranking=ranking)
 
     # -- accounting ----------------------------------------------------------

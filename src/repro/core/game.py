@@ -13,8 +13,8 @@ simulates the whole round as one batched tensor computation;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,12 +28,18 @@ from repro.types import GameOutcome
 
 @dataclass(frozen=True)
 class GameReport:
-    """One played game: who took part, their scores, and the raw outcome."""
+    """One played game: who took part, their scores, and the raw outcome.
+
+    ``scores`` is the ndarray the execution scores were computed as; rankers
+    use it to sort without re-building an array from the float tuple.  It is
+    excluded from equality so reports still compare by value.
+    """
 
     indices: Tuple[int, ...]
     execution_scores: Tuple[float, ...]
     winner_position: int
     outcome: GameOutcome
+    scores: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
 
     @property
     def winner_index(self) -> int:
@@ -103,9 +109,10 @@ def play_round(
         reports.append(
             GameReport(
                 indices=tuple(players),
-                execution_scores=tuple(float(s) for s in scores),
+                execution_scores=tuple(scores.tolist()),
                 winner_position=winner_pos,
                 outcome=outcome,
+                scores=scores,
             )
         )
     return reports

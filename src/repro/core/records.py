@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.xp as xp
 from repro.analysis.stats import rank_with_ties
 from repro.errors import TournamentError
 
@@ -110,9 +111,9 @@ class RecordBook:
         self._records: Dict[int, PlayerRecord] = {}
         self._slots: Dict[int, int] = {}
         cap = self._INITIAL_CAPACITY
-        self._score_sums = np.zeros(cap)
-        self._rank_sums = np.zeros(cap)
-        self._games = np.zeros(cap, dtype=np.int64)
+        self._score_sums = xp.zeros(cap)
+        self._rank_sums = xp.zeros(cap)
+        self._games = xp.zeros(cap, dtype=np.int64)
         self._total_evaluations = 0
 
     def __len__(self) -> int:
@@ -125,7 +126,7 @@ class RecordBook:
         cap = 2 * len(self._score_sums)
         for name in ("_score_sums", "_rank_sums", "_games"):
             old = getattr(self, name)
-            new = np.zeros(cap, dtype=old.dtype)
+            new = xp.zeros(cap, dtype=old.dtype)
             new[: len(old)] = old
             setattr(self, name, new)
 
@@ -151,7 +152,12 @@ class RecordBook:
         return record
 
     def assign_region(self, index: int, region_id: int) -> None:
-        self.get(index).region_id = region_id
+        # Inlined fast path of get(): region assignment fires once for every
+        # player ever drawn into a lineup, which is most of the pool.
+        record = self._records.get(int(index))
+        if record is None:
+            record = self.get(index)
+        record.region_id = region_id
 
     def record_game(
         self, indices: Sequence[int], execution_scores: Sequence[float]
@@ -168,28 +174,29 @@ class RecordBook:
         scores = np.asarray(execution_scores, dtype=float)
         ranks = rank_with_ties(scores, descending=True)
         winner_pos = int(np.argmax(scores))
-        records = self._records
-        slots = self._slots
-        score_sums, rank_sums, games = self._score_sums, self._rank_sums, self._games
+        inverse = 1.0 / np.asarray(ranks, dtype=float)
         score_list = scores.tolist()
-        inverse_list = (1.0 / np.asarray(ranks, dtype=float)).tolist()
-        for pos, index in enumerate(indices):
-            key = int(index)
+        inverse_list = inverse.tolist()
+        records = self._records
+        keys = [int(i) for i in indices]
+        for pos, key in enumerate(keys):
             record = records.get(key)
             if record is None:
                 record = self.get(key)
-                score_sums, rank_sums, games = (  # get() may have regrown them
-                    self._score_sums, self._rank_sums, self._games,
-                )
-            score = score_list[pos]
-            inverse_rank = inverse_list[pos]
-            record.add_result(score, inverse_rank)
-            slot = slots[key]
-            score_sums[slot] += score
-            rank_sums[slot] += inverse_rank
-            games[slot] += 1
-        self.get(int(indices[winner_pos])).wins += 1
-        self._total_evaluations += len(indices)
+            record.execution_scores.append(score_list[pos])
+            record.inverse_ranks.append(inverse_list[pos])
+        # One scatter-add per flat array instead of three scalar updates per
+        # player.  ``np.add.at`` is unbuffered and applies duplicates in
+        # positional order — bit-for-bit the accumulation the scalar loop did.
+        slots = self._slots
+        slot_arr = np.fromiter(
+            map(slots.__getitem__, keys), dtype=np.int64, count=len(keys)
+        )
+        xp.add.at(self._score_sums, slot_arr, scores)
+        xp.add.at(self._rank_sums, slot_arr, inverse)
+        xp.add.at(self._games, slot_arr, 1)
+        records[keys[winner_pos]].wins += 1
+        self._total_evaluations += len(keys)
         return winner_pos
 
     @property
@@ -200,7 +207,14 @@ class RecordBook:
     def _gather_slots(self, indices: Sequence[int]) -> np.ndarray:
         table = self._slots
         try:
-            return np.array([table[int(i)] for i in indices], dtype=np.int64)
+            # C-level gather: the selection loops re-issue this for the whole
+            # played list every round, so the per-element cost matters.  No
+            # int() per key — numpy integers hash like the plain-int keys.
+            return np.fromiter(
+                map(table.__getitem__, indices),
+                dtype=np.int64,
+                count=len(indices),
+            )
         except KeyError:
             # Rare: some records do not exist yet — create them (like get()).
             return np.array(
@@ -209,11 +223,11 @@ class RecordBook:
 
     def mean_execution_scores(self, indices: Sequence[int]) -> np.ndarray:
         slots = self._gather_slots(indices)
-        return self._score_sums[slots] / np.maximum(self._games[slots], 1)
+        return self._score_sums[slots] / xp.maximum(self._games[slots], 1)
 
     def consistency_scores(self, indices: Sequence[int]) -> np.ndarray:
         slots = self._gather_slots(indices)
-        return self._rank_sums[slots] / np.maximum(self._games[slots], 1)
+        return self._rank_sums[slots] / xp.maximum(self._games[slots], 1)
 
     def combined_rank_order(
         self,

@@ -1,0 +1,233 @@
+"""Cross-campaign mega-batching: the stacked executor (ROADMAP item 2).
+
+A sweep runs many tuning campaigns whose tournament rounds are individually
+modest tensor jobs — a few games of a few players over a few hundred
+segments.  On a 1-core machine the process pool cannot help, and each
+campaign pays the fixed per-kernel overhead of every numpy call on its own.
+The :class:`StackedExecutor` removes that overhead by *fusing*: campaigns of
+the same stack key run in lockstep, and their concurrent rounds are
+simulated as one stacked ``(campaigns x games, segments, players)`` tensor
+pass through :func:`repro.cloud.colocation.simulate_colocated_rounds`.
+
+The mechanism is a baton, not a scheduler rewrite.  Each campaign runs its
+ordinary, deeply imperative tournament loop on its own thread, but only one
+thread executes at any moment: when a campaign reaches
+``simulate_colocated_batch`` it *parks* its validated round on its channel
+and hands the baton back; when every live campaign is parked, the
+coordinator simulates all parked rounds in one fused pass, distributes the
+outcomes, and passes the baton around again.  Because execution is fully
+serialized, shared process state (application caches, telemetry, fault
+plans) needs no locking and event order stays deterministic.
+
+Bit-identity with the per-campaign path is by construction: every request
+carries its own interference process, start time, RNG children, and
+termination thresholds, and the fused kernel keeps per-game draws on
+per-game generators (see ``colocation.py``).  ``tests/test_stacked_executor``
+pins this with golden-store diffs and a hypothesis property over stack
+widths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cloud import colocation
+from repro.errors import ReproError
+from repro.telemetry.events import (
+    counter as _telemetry_counter,
+    emit_event,
+    histogram as _telemetry_histogram,
+    telemetry_enabled,
+)
+
+
+def stack_key(spec) -> Tuple:
+    """The fusion group of a campaign: same app surface, VM, and format.
+
+    Campaigns sharing a key advance in lockstep and fuse their rounds.  Any
+    grouping is *correct* (requests are self-contained); this key maximises
+    tensor-shape homogeneity so fused chunks carry little padding.
+    """
+    return (spec.app, spec.scale, spec.vm, spec.scenario, spec.format)
+
+
+class _CampaignChannel:
+    """Baton-passing handshake between one campaign thread and the coordinator.
+
+    ``resume`` (coordinator -> thread) grants the baton; ``parked`` (thread ->
+    coordinator) returns it.  While parked, ``request`` holds the round the
+    campaign wants simulated; the coordinator answers through ``result`` or
+    ``error``.  ``done``/``record`` report campaign completion.
+
+    The batons are raw locks, not events: the two sides strictly alternate
+    (release is always answered by exactly one acquire), and a lock handoff
+    costs a fraction of an ``Event`` round-trip — which matters, because the
+    handshake fires twice per tournament round per campaign.
+    """
+
+    __slots__ = (
+        "index", "spec", "resume", "parked", "request", "result", "error",
+        "done", "record", "failure", "thread",
+    )
+
+    def __init__(self, index: int, spec) -> None:
+        self.index = index
+        self.spec = spec
+        self.resume = threading.Lock()
+        self.resume.acquire()  # baton starts with the coordinator
+        self.parked = threading.Lock()
+        self.parked.acquire()
+        self.request = None
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+        self.record = None
+        self.failure: Optional[BaseException] = None
+        self.thread: Optional[threading.Thread] = None
+
+    def simulate(self, request) -> List:
+        """Park ``request`` for fusion; block until the coordinator answers.
+
+        Called on the campaign thread from ``simulate_colocated_batch`` (via
+        the thread-local stack channel).  Raising the coordinator's error
+        here puts a fused-kernel failure on the campaign's ordinary
+        exception path — it becomes a failed attempt with the usual retry
+        budget, exactly as an inline simulation error would.
+        """
+        self.request = request
+        self.result = None
+        self.error = None
+        self.parked.release()
+        self.resume.acquire()
+        if self.error is not None:
+            error, self.error = self.error, None
+            raise error
+        result, self.result = self.result, None
+        return result
+
+
+def _campaign_worker(channel: _CampaignChannel, max_retries: int, backoff: float) -> None:
+    """Thread body: one campaign under inline retry/quarantine semantics.
+
+    Mirrors ``CampaignRunner._execute_inline`` exactly — same attempt
+    numbering, same backoff schedule, same quarantine — so a stacked sweep's
+    records match a serial sweep's byte for byte.
+    """
+    from repro.campaigns.dispatch import quarantine_record
+    from repro.campaigns.runner import execute_campaign
+
+    colocation.install_stack_channel(channel)
+    try:
+        channel.resume.acquire()  # the baton: run only when granted
+        spec = channel.spec
+        attempt = 0
+        while True:
+            attempt += 1
+            record = execute_campaign(spec, attempt=attempt)
+            if record.ok:
+                break
+            if attempt > max_retries:
+                record = quarantine_record(record)
+                break
+            if backoff > 0:
+                time.sleep(backoff * (2 ** (attempt - 1)))
+        channel.record = record
+    except BaseException as exc:  # pragma: no cover - defensive; see _finish
+        channel.failure = exc
+    finally:
+        colocation.install_stack_channel(None)
+        channel.done = True
+        channel.parked.release()
+
+
+class StackedExecutor:
+    """Runs a sweep's campaigns in lockstep, fusing their concurrent rounds.
+
+    In-process (``--exec-mode stacked``): no worker pool, no ledger — the
+    sibling of the runner's inline path, with the same retry, quarantine,
+    fault-injection, and checkpoint-order semantics.  Campaigns are grouped
+    by :func:`stack_key`; groups run one after another; within a group,
+    records are yielded the moment their campaign finishes, so store
+    checkpointing and resume behave as on the other paths.
+    """
+
+    def __init__(self, *, max_retries: int = 2, backoff: float = 0.1) -> None:
+        self.max_retries = max_retries
+        self.backoff = backoff
+
+    def run(self, pending: Sequence[Tuple[int, object]]) -> Iterator[Tuple[int, object]]:
+        groups: Dict[Tuple, List[Tuple[int, object]]] = {}
+        for index, spec in pending:
+            groups.setdefault(stack_key(spec), []).append((index, spec))
+        for group in groups.values():
+            yield from self._run_group(group)
+
+    def _run_group(self, group: Sequence[Tuple[int, object]]) -> Iterator[Tuple[int, object]]:
+        channels = [_CampaignChannel(index, spec) for index, spec in group]
+        for channel in channels:
+            thread = threading.Thread(
+                target=_campaign_worker,
+                args=(channel, self.max_retries, self.backoff),
+                name=f"stacked-{channel.spec.campaign_id[:12]}",
+                daemon=True,
+            )
+            channel.thread = thread
+            thread.start()
+
+        live: List[_CampaignChannel] = []
+        # First baton round: each campaign runs to its first parked round —
+        # or straight to completion (strategies that never co-locate).
+        for channel in channels:
+            self._step(channel)
+            if channel.done:
+                yield self._finish(channel)
+            else:
+                live.append(channel)
+
+        while live:
+            requests = [channel.request for channel in live]
+            width = len(requests)
+            t0 = time.perf_counter()
+            try:
+                rounds = colocation.simulate_colocated_rounds(requests)
+            except Exception as exc:  # noqa: BLE001 - refused per campaign
+                # Every parked campaign sees the failure on its own thread
+                # and spends its own retry budget on it; the group goes on.
+                for channel in live:
+                    channel.error = exc
+            else:
+                for channel, outcomes in zip(live, rounds):
+                    channel.result = outcomes
+            if telemetry_enabled():
+                emit_event(
+                    "stack.simulate",
+                    type="span",
+                    value=time.perf_counter() - t0,
+                    width=width,
+                    games=sum(len(request.games) for request in requests),
+                )
+                _telemetry_histogram("stack.width", float(width))
+                _telemetry_counter("stacked.rounds")
+            for channel in list(live):
+                self._step(channel)
+                if channel.done:
+                    yield self._finish(channel)
+                    live.remove(channel)
+
+    @staticmethod
+    def _step(channel: _CampaignChannel) -> None:
+        """Grant the baton and block until it comes back (park or finish)."""
+        channel.resume.release()
+        channel.parked.acquire()
+
+    @staticmethod
+    def _finish(channel: _CampaignChannel) -> Tuple[int, object]:
+        channel.thread.join()
+        if channel.record is None:  # pragma: no cover - worker never raises
+            raise ReproError(
+                f"stacked campaign thread for {channel.spec.campaign_id} "
+                f"died without a record: {channel.failure!r}"
+            ) from channel.failure
+        return channel.index, channel.record

@@ -48,7 +48,8 @@ EVENT_KIND = "telemetry"
 TYPE_SPAN = "span"
 TYPE_COUNTER = "counter"
 TYPE_GAUGE = "gauge"
-EVENT_TYPES = (TYPE_SPAN, TYPE_COUNTER, TYPE_GAUGE)
+TYPE_HISTOGRAM = "histogram"
+EVENT_TYPES = (TYPE_SPAN, TYPE_COUNTER, TYPE_GAUGE, TYPE_HISTOGRAM)
 
 
 def telemetry_path_for(store_path: PathLike) -> Path:
@@ -279,6 +280,18 @@ def gauge(name: str, value: float, **kwargs: object) -> None:
     if not _EMITTER.enabled:
         return
     emit_event(name, type=TYPE_GAUGE, value=value, **kwargs)  # type: ignore[arg-type]
+
+
+def histogram(name: str, value: float, **kwargs: object) -> None:
+    """Emit one histogram observation (no-op while disabled).
+
+    Unlike a span — whose value is always elapsed seconds — a histogram
+    observes an arbitrary distribution (e.g. ``stack.width``: how many
+    campaign rounds each fused simulation pass carried).
+    """
+    if not _EMITTER.enabled:
+        return
+    emit_event(name, type=TYPE_HISTOGRAM, value=value, **kwargs)  # type: ignore[arg-type]
 
 
 @contextmanager

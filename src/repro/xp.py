@@ -1,0 +1,35 @@
+"""``repro.xp`` — the array namespace the simulation hot path computes in.
+
+Hot modules do ``import repro.xp as xp`` and call ``xp.zeros`` /
+``xp.cumsum`` / ``xp.maximum(..., out=...)`` exactly as they would numpy.
+Attribute lookups forward to the namespace of the *active*
+:class:`repro.backend.ArrayBackend` (numpy by default; see
+:func:`repro.backend.set_array_backend` and ``REPRO_ARRAY_BACKEND``).
+
+Forwarded attributes are cached into this module's globals on first use,
+so steady-state access is a plain module attribute read — zero overhead
+over ``import numpy as np`` on the default backend.  Switching backends
+purges the cache (:func:`_rebind`), so the next lookup re-forwards.
+"""
+
+from __future__ import annotations
+
+_FORWARDED = set()
+
+
+def __getattr__(name: str):
+    if name.startswith("__"):
+        raise AttributeError(name)
+    from repro.backend import active_namespace
+
+    value = getattr(active_namespace(), name)
+    globals()[name] = value
+    _FORWARDED.add(name)
+    return value
+
+
+def _rebind() -> None:
+    """Drop every cached forward (called on backend switch)."""
+    for name in _FORWARDED:
+        globals().pop(name, None)
+    _FORWARDED.clear()

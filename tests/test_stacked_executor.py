@@ -1,0 +1,190 @@
+"""Stacked-executor contracts (ISSUE 10): cross-campaign mega-batching.
+
+The whole value of ``--exec-mode stacked`` rests on one promise: fusing the
+concurrent rounds of many campaigns into one tensor pass changes *nothing*
+about any campaign's results — stores are bit-identical to the per-campaign
+path whether a sweep runs serially, resumes mid-way, or survives injected
+faults.  These tests pin that promise, the ragged-stack behaviour (campaigns
+leaving their group as they finish), and — via hypothesis — that the stack
+width itself is never an input to the results.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.cloud.colocation as colocation
+from repro.campaigns import CampaignGrid, CampaignRunner, CampaignStore
+from repro.core.stacked import StackedExecutor, stack_key
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.telemetry.status import render_status, snapshot
+
+
+def _stable(records):
+    """Order-insensitive canonical form — completion order is allowed to
+    differ between executors; record contents are not."""
+    return json.dumps(
+        [r.stable_payload()
+         for r in sorted(records, key=lambda r: r.campaign_id)],
+        sort_keys=True,
+    )
+
+
+def _payloads(records):
+    return json.dumps(
+        [r.to_payload() for r in sorted(records, key=lambda r: r.campaign_id)],
+        sort_keys=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_specs():
+    """Two apps x two seeds: two stack groups of width two."""
+    grid = CampaignGrid(
+        apps=("redis", "gromacs"), seeds=(0, 1), scale="test", eval_runs=2
+    )
+    return list(grid.specs())
+
+
+class TestBitIdentity:
+    def test_stacked_store_matches_process_store(self, tmp_path, mixed_specs):
+        process_store = CampaignStore(tmp_path / "process.jsonl")
+        CampaignRunner(jobs=1, store=process_store).run(mixed_specs)
+
+        stacked_store = CampaignStore(tmp_path / "stacked.jsonl")
+        CampaignRunner(exec_mode="stacked", store=stacked_store).run(mixed_specs)
+
+        assert _stable(stacked_store.records()) \
+            == _stable(process_store.records())
+        # Attempt metadata matches too: same retries (none), same statuses.
+        assert _payloads(stacked_store.records()) \
+            == _payloads(process_store.records())
+
+    def test_resumed_stacked_sweep_matches_full_process_sweep(
+        self, tmp_path, mixed_specs
+    ):
+        full = CampaignRunner(jobs=1).run(mixed_specs)
+
+        store = CampaignStore(tmp_path / "resume.jsonl")
+        CampaignRunner(jobs=1, store=store).run(mixed_specs[:2])
+        resumed = CampaignRunner(exec_mode="stacked", store=store).run(mixed_specs)
+
+        assert resumed.skipped == 2
+        assert resumed.executed == len(mixed_specs) - 2
+        assert _stable(store.records()) == _stable(full.records)
+
+    def test_stacked_under_fault_injection_converges(self, mixed_specs):
+        plan = FaultPlan(rate=1.0, kinds=("transient",), max_faults=2, seed=5)
+        clean = CampaignRunner(jobs=1).run(mixed_specs)
+        process = CampaignRunner(
+            jobs=1, backoff=0.0, max_retries=3, fault_plan=plan
+        ).run(mixed_specs)
+        stacked = CampaignRunner(
+            exec_mode="stacked", backoff=0.0, max_retries=3, fault_plan=plan
+        ).run(mixed_specs)
+
+        # Same faults, same retries, same final records as the inline path —
+        # and, minus attempt metadata, the same results as a fault-free run.
+        assert _payloads(stacked.records) == _payloads(process.records)
+        assert stacked.retries == process.retries > 0
+        assert _stable(stacked.records) == _stable(clean.records)
+
+
+class TestRaggedStacks:
+    def test_campaigns_leave_the_stack_as_they_finish(self, monkeypatch):
+        grid = CampaignGrid(
+            apps=("redis",), seeds=(0, 1, 2, 3), scale="test", eval_runs=2
+        )
+        specs = list(grid.specs())
+        reference = CampaignRunner(jobs=1).run(specs)
+
+        widths = []
+        fused = colocation.simulate_colocated_rounds
+
+        def spy(requests):
+            widths.append(len(requests))
+            return fused(requests)
+
+        monkeypatch.setattr(colocation, "simulate_colocated_rounds", spy)
+        stacked = CampaignRunner(exec_mode="stacked").run(specs)
+
+        assert _payloads(stacked.records) == _payloads(reference.records)
+        # The group starts full, shrinks as campaigns finish at different
+        # rounds, and the survivors keep fusing down to a width-1 tail.
+        assert widths[0] == len(specs)
+        assert widths[-1] == 1
+        assert widths == sorted(widths, reverse=True)
+        assert len(set(widths)) >= 3
+
+    def test_groups_are_keyed_by_app_vm_scenario_format(self, mixed_specs):
+        keys = {stack_key(spec) for spec in mixed_specs}
+        assert len(keys) == 2  # two apps -> two fusion groups
+        executor = StackedExecutor()
+        records = dict(executor.run(list(enumerate(mixed_specs))))
+        assert sorted(records) == list(range(len(mixed_specs)))
+
+
+class TestRunnerIntegration:
+    def test_unknown_exec_mode_is_rejected(self):
+        with pytest.raises(ReproError, match="exec_mode"):
+            CampaignRunner(exec_mode="turbo")
+
+    def test_single_campaign_sweep_matches_inline(self, mixed_specs):
+        inline = CampaignRunner(jobs=1).run(mixed_specs[:1])
+        stacked = CampaignRunner(exec_mode="stacked").run(mixed_specs[:1])
+        assert _payloads(stacked.records) == _payloads(inline.records)
+
+    def test_stacked_observability_in_status_and_metrics(
+        self, tmp_path, mixed_specs
+    ):
+        store = CampaignStore(tmp_path / "sweep.jsonl")
+        CampaignRunner(
+            exec_mode="stacked", store=store, telemetry=True
+        ).run(mixed_specs)
+
+        snap = snapshot(store.path)
+        assert snap.stacked_rounds > 0
+        assert snap.stack_width_mean is not None
+        assert 1.0 <= snap.stack_width_mean <= 2.0
+        rendered = render_status(snap)
+        assert "stacked:" in rendered and "fused rounds" in rendered
+
+        from repro.telemetry.metrics import render_store_metrics
+
+        metrics = render_store_metrics(store.path)
+        assert "stack_width" in metrics.replace(".", "_") or \
+            "stack.width" in metrics
+        assert "stacked" in metrics
+
+
+# Per-campaign reference payloads for the width property, computed once.
+@pytest.fixture(scope="module")
+def width_reference():
+    grid = CampaignGrid(
+        apps=("redis",), seeds=(0, 1, 2, 3, 4, 5), scale="test", eval_runs=2
+    )
+    specs = list(grid.specs())
+    report = CampaignRunner(jobs=1).run(specs)
+    by_id = {r.campaign_id: json.dumps(r.stable_payload(), sort_keys=True)
+             for r in report.records}
+    return specs, by_id
+
+
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(subset=st.sets(st.integers(0, 5), min_size=2, max_size=5))
+def test_stack_width_never_changes_results(subset, width_reference):
+    """Any subset of the group — any stack width — reproduces exactly the
+    records each campaign produces alone on the per-campaign path."""
+    specs, by_id = width_reference
+    chosen = [specs[i] for i in sorted(subset)]
+    report = CampaignRunner(exec_mode="stacked").run(chosen)
+    assert len(report.records) == len(chosen)
+    for record in report.records:
+        assert json.dumps(record.stable_payload(), sort_keys=True) \
+            == by_id[record.campaign_id]
